@@ -1,0 +1,80 @@
+// §IV ablation: the three merge schemes on synthetic k-list workloads.
+// Measures real wall time plus the analysis quantities — element passes,
+// weighted (heap-comparison) operations, and peak resident elements — so
+// the multiway O(kn lg k) <= binary O(kn lg k lg lg k) << immediate
+// O(nk^2/2) ordering and the Table III memory savings are directly
+// observable.
+#include <benchmark/benchmark.h>
+
+#include "merge/binary.hpp"
+#include "merge/immediate.hpp"
+#include "merge/multiway.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+
+std::vector<C> stage_lists(int k, vidx_t n, int entries, std::uint64_t seed) {
+  std::vector<C> lists;
+  for (int i = 0; i < k; ++i) {
+    util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(i));
+    sparse::Triples<vidx_t, val_t> t(n, n);
+    for (int e = 0; e < entries; ++e) {
+      t.push_unchecked(static_cast<vidx_t>(rng.bounded(n)),
+                       static_cast<vidx_t>(rng.bounded(n)),
+                       rng.uniform_pos());
+    }
+    t.sort_and_combine();
+    lists.push_back(sparse::csc_from_triples(std::move(t)));
+  }
+  return lists;
+}
+
+template <typename Merger, typename Finalize>
+void run_scheme(benchmark::State& state, Finalize&& finalize) {
+  const int k = static_cast<int>(state.range(0));
+  const auto lists = stage_lists(k, 256, 4000, 7);
+
+  merge::MergeStats last_stats;
+  for (auto _ : state) {
+    Merger merger;
+    for (const auto& l : lists) merger.push(l);
+    C result = finalize(merger);
+    benchmark::DoNotOptimize(result);
+    last_stats = merger.stats();
+  }
+  state.counters["k"] = k;
+  state.counters["elem_passes"] =
+      static_cast<double>(last_stats.elements_processed);
+  state.counters["weighted_ops"] = last_stats.weighted_ops();
+  state.counters["peak_elems"] =
+      static_cast<double>(last_stats.peak_elements);
+}
+
+void BM_Multiway(benchmark::State& state) {
+  run_scheme<merge::MultiwayMerger<vidx_t, val_t>>(
+      state, [](auto& m) { return m.finalize(); });
+}
+void BM_Binary(benchmark::State& state) {
+  run_scheme<merge::BinaryMerger<vidx_t, val_t>>(
+      state, [](auto& m) { return m.finalize().first; });
+}
+void BM_Immediate(benchmark::State& state) {
+  run_scheme<merge::ImmediateMerger<vidx_t, val_t>>(
+      state, [](auto& m) { return m.finalize(); });
+}
+
+BENCHMARK(BM_Multiway)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Binary)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Immediate)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

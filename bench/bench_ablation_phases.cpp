@@ -1,0 +1,75 @@
+// Ablation of HipMCL's phased (fused expand+prune) execution — the §III
+// memory/time trade: splitting the expansion into h column batches keeps
+// only 1/h of the unpruned product resident, at the price of
+// re-broadcasting A every phase ("causes one of the input matrices to be
+// broadcast multiple times"). Sweeps the per-rank memory budget and
+// reports the phase count the planner picks, the peak merge working set,
+// and the broadcast/elapsed cost.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.4, "dataset size scale");
+  const int nodes = static_cast<int>(cli.get_int("nodes", 16,
+      "simulated nodes"));
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const gen::Dataset data = gen::make_dataset("isom-mini", scale);
+  const core::MclParams params = bench::standard_params(80);
+  constexpr double kMiB = 1024.0 * 1024.0;
+  constexpr double kBytesPerElem = sizeof(vidx_t) + sizeof(val_t);
+
+  util::Table t("Phased expansion ablation — " + data.name + ", " +
+                std::to_string(nodes) + " nodes, shrinking memory budget");
+  t.header({"mem budget/rank", "max phases", "peak merge (MiB)",
+            "bcast (s)", "overall (s)", "clusters"});
+
+  // From roomy (single phase) down to tight (many phases).
+  const std::vector<double> budgets_mib = {1e9, 8, 4, 2, 1};
+  vidx_t reference_clusters = -1;
+  for (const double mib : budgets_mib) {
+    core::HipMclConfig config = core::HipMclConfig::optimized();
+    config.mem_budget_per_rank = static_cast<bytes_t>(mib * kMiB);
+    sim::SimState sim(sim::summit_like(nodes));
+    const auto r = core::run_hipmcl(data.graph.edges, params, config, sim);
+
+    int max_phases = 1;
+    std::uint64_t peak = 0;
+    for (const auto& it : r.iters) {
+      max_phases = std::max(max_phases, it.phases);
+      peak = std::max(peak, it.merge_peak_sum);
+    }
+    if (reference_clusters < 0) reference_clusters = r.num_clusters;
+    t.row({mib > 1e6 ? std::string("unlimited")
+                     : util::Table::fmt(mib, 0) + " MiB",
+           util::Table::fmt_int(max_phases),
+           util::Table::fmt(static_cast<double>(peak) * kBytesPerElem / kMiB,
+                            2),
+           util::Table::fmt(bench::stage_total(r, sim::Stage::kSummaBcast),
+                            1),
+           util::Table::fmt(r.elapsed, 1),
+           util::Table::fmt_int(r.num_clusters)});
+    // The design-choice invariant: phasing never changes the output.
+    if (r.num_clusters != reference_clusters) {
+      std::cout << "ERROR: clustering changed under phasing!\n";
+      return 1;
+    }
+  }
+  t.note("peak merge working set shrinks with the budget (more phases); "
+         "broadcast time grows (A re-broadcast per phase); clusters "
+         "identical throughout");
+  t.print(std::cout);
+
+  bench::print_paper_reference(
+      "§III: phased execution trades computational efficiency (repeated A "
+      "broadcasts) for bounded memory; §V's estimator exists to pick h. "
+      "Expected shape: memory falls ~1/h, broadcast cost rises with h, "
+      "results unchanged.");
+  return 0;
+}

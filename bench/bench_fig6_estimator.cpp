@@ -1,0 +1,108 @@
+// Figure 6: probabilistic memory-requirement estimation. Top half —
+// relative error (%) of the Cohen estimator vs the exact symbolic count
+// per MCL iteration, for r in {3,5,7,10} keys. Bottom half — cumulative
+// virtual time of the estimation stage, exact vs probabilistic. The
+// paper: errors within ~10% for small r (worse in early iterations),
+// probabilistic much faster early (high cf), exact catching up late.
+#include "common.hpp"
+
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.5, "dataset size scale");
+  const int nodes = static_cast<int>(cli.get_int("nodes", 16,
+      "simulated nodes"));
+  const int max_iters = static_cast<int>(cli.get_int("iters", 20,
+      "MCL iterations to report"));
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const std::vector<int> key_counts = {3, 5, 7, 10};
+  core::MclParams params = bench::standard_params(80);
+  params.max_iters = max_iters;
+
+  for (const auto& name : gen::medium_dataset_names()) {
+    const gen::Dataset data = gen::make_dataset(name, scale);
+
+    // Exact run: provides both the error baseline and the exact scheme's
+    // estimation-stage times.
+    core::HipMclConfig exact_config = core::HipMclConfig::optimized();
+    exact_config.estimator = core::EstimatorKind::kExactSymbolic;
+    const auto exact = bench::run(data, nodes, exact_config, params);
+
+    // One probabilistic run per key count, with the exact count measured
+    // alongside (uncharged) for the error column.
+    std::vector<core::MclResult> prob;
+    for (const int r : key_counts) {
+      core::HipMclConfig config = core::HipMclConfig::optimized();
+      config.cohen_keys = r;
+      config.measure_estimation_error = true;
+      prob.push_back(bench::run(data, nodes, config, params));
+    }
+
+    util::Table err("Figure 6 (top) — relative error %% of the "
+                    "probabilistic estimate, " + name);
+    err.header({"MCL iter", "r=3", "r=5", "r=7", "r=10"});
+    const std::size_t iters = prob[0].iters.size();
+    std::vector<double> mean_err(key_counts.size(), 0.0);
+    for (std::size_t i = 0; i < iters; ++i) {
+      std::vector<std::string> row = {util::Table::fmt_int(
+          static_cast<long long>(i + 1))};
+      for (std::size_t k = 0; k < key_counts.size(); ++k) {
+        if (i >= prob[k].iters.size()) {
+          row.push_back("-");
+          continue;
+        }
+        const auto& it = prob[k].iters[i];
+        const double e = util::relative_error_pct(it.est_unpruned_nnz,
+                                                  it.exact_unpruned_nnz);
+        mean_err[k] += e / static_cast<double>(prob[k].iters.size());
+        row.push_back(util::Table::fmt(e, 1));
+      }
+      err.row(row);
+    }
+    {
+      std::vector<std::string> row = {"mean"};
+      for (const double e : mean_err) row.push_back(util::Table::fmt(e, 1));
+      err.row(row);
+    }
+    err.print(std::cout);
+
+    util::Table rt("Figure 6 (bottom) — cumulative estimation time "
+                   "(virtual s), " + name);
+    rt.header({"MCL iter", "exact", "r=3", "r=5", "r=7", "r=10"});
+    std::vector<double> cum(key_counts.size() + 1, 0.0);
+    for (std::size_t i = 0; i < iters; ++i) {
+      std::vector<std::string> row = {util::Table::fmt_int(
+          static_cast<long long>(i + 1))};
+      if (i < exact.iters.size()) {
+        cum[0] += exact.iters[i].stage_times[static_cast<std::size_t>(
+            sim::Stage::kMemEstimation)];
+      }
+      row.push_back(util::Table::fmt(cum[0], 2));
+      for (std::size_t k = 0; k < key_counts.size(); ++k) {
+        if (i < prob[k].iters.size()) {
+          cum[k + 1] += prob[k].iters[i].stage_times[
+              static_cast<std::size_t>(sim::Stage::kMemEstimation)];
+        }
+        row.push_back(util::Table::fmt(cum[k + 1], 2));
+      }
+      rt.row(row);
+    }
+    rt.print(std::cout);
+  }
+
+  bench::print_paper_reference(
+      "Fig 6: a few keys land within ~10% of the exact count (worst in "
+      "the first iterations where column variance is high; error shrinks "
+      "with r), and the probabilistic scheme's cumulative time stays well "
+      "below the exact scheme's, most dramatically early where cf is "
+      "large.");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 7: strong scaling of the optimized HipMCL — overall time vs
+// node count for the isom100-1 analog (100..400 nodes) and the
+// metaclust50 analog (256..729 nodes), against the ideal-scaling line.
+// The paper reports 49% (isom100-1) and 57% (metaclust50) parallel
+// efficiency across those ranges.
+#include "common.hpp"
+
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.4, "dataset size scale");
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const core::MclParams params = bench::standard_params(80);
+
+  struct Sweep {
+    std::string dataset;
+    std::vector<int> nodes;
+    double paper_efficiency;
+  };
+  const std::vector<Sweep> sweeps = {
+      {"isom-mini", {100, 144, 196, 289, 400}, 0.49},
+      {"metaclust-mini", {256, 361, 529, 729}, 0.57},
+  };
+
+  for (const auto& sweep : sweeps) {
+    const gen::Dataset data = gen::make_dataset(sweep.dataset, scale);
+    util::Table t("Figure 7 — strong scaling, " + sweep.dataset + " (" +
+                  std::to_string(data.graph.edges.nrows()) + " vertices, " +
+                  std::to_string(data.graph.edges.nnz()) + " edges)");
+    t.header({"#nodes", "time (virtual s)", "ideal (s)", "speedup",
+              "efficiency"});
+
+    double t0 = 0;
+    int n0 = 0;
+    double final_eff = 0;
+    for (const int nodes : sweep.nodes) {
+      const auto r = bench::run(data, nodes,
+                                core::HipMclConfig::optimized(), params);
+      if (t0 == 0) {
+        t0 = r.elapsed;
+        n0 = nodes;
+      }
+      const double ideal = t0 * n0 / nodes;
+      const double eff = util::parallel_efficiency(t0, n0, r.elapsed, nodes);
+      final_eff = eff;
+      t.row({util::Table::fmt_int(nodes), util::Table::fmt(r.elapsed, 1),
+             util::Table::fmt(ideal, 1),
+             util::Table::fmt_speedup(t0 / r.elapsed, 2),
+             util::Table::fmt_pct(eff * 100.0, 0)});
+    }
+    t.note("paper efficiency over the same node range: " +
+           util::Table::fmt_pct(sweep.paper_efficiency * 100.0, 0));
+    t.note("measured end-of-range efficiency: " +
+           util::Table::fmt_pct(final_eff * 100.0, 0));
+    t.print(std::cout);
+  }
+
+  bench::print_paper_reference(
+      "Fig 7: both networks keep scaling to the largest node counts but "
+      "sub-ideally — 49% efficiency for isom100-1 (100->400 nodes) and "
+      "57% for metaclust50 (256->729). Expected shape: monotone time "
+      "decrease, widening gap to the ideal line.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Microbenchmark behind Fig 6's bottom half: real wall time of the
+// Cohen estimator (per key count) against the exact symbolic pass, across
+// compression-factor regimes. §V's premise made measurable: the
+// probabilistic estimator costs O(r·nnz) regardless of flops, so its
+// advantage grows with cf, while the symbolic O(flops) pass wins when
+// cf ~ 1. Counters report the estimate's relative error alongside.
+#include <benchmark/benchmark.h>
+
+#include "estimate/cohen.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+
+C matrix_for_regime(int regime) {
+  struct Spec {
+    vidx_t n;
+    double density;
+  };
+  // low cf (sparse random), mid, high cf (dense columns).
+  constexpr Spec specs[] = {{3000, 0.0015}, {800, 0.02}, {400, 0.2}};
+  const Spec spec = specs[regime];
+  util::Xoshiro256 rng(31);
+  sparse::Triples<vidx_t, val_t> t(spec.n, spec.n);
+  const auto entries = static_cast<std::uint64_t>(
+      spec.density * static_cast<double>(spec.n) *
+      static_cast<double>(spec.n));
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(spec.n)),
+                     static_cast<vidx_t>(rng.bounded(spec.n)),
+                     rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  return sparse::csc_from_triples(std::move(t));
+}
+
+void set_cf_counter(benchmark::State& state, const C& a) {
+  const std::uint64_t flops = sparse::spgemm_flops(a, a);
+  const std::uint64_t nnz_c = spgemm::symbolic_nnz(a, a);
+  state.counters["cf"] = sparse::compression_factor(flops, nnz_c);
+  state.counters["flops"] = static_cast<double>(flops);
+  state.counters["nnzA"] = static_cast<double>(a.nnz());
+}
+
+void BM_ExactSymbolic(benchmark::State& state) {
+  const C a = matrix_for_regime(static_cast<int>(state.range(0)));
+  std::uint64_t nnz = 0;
+  for (auto _ : state) {
+    nnz = spgemm::symbolic_nnz(a, a);
+    benchmark::DoNotOptimize(nnz);
+  }
+  set_cf_counter(state, a);
+  state.counters["mean_err_pct"] = 0.0;
+}
+
+void BM_Cohen(benchmark::State& state) {
+  const C a = matrix_for_regime(static_cast<int>(state.range(0)));
+  const int keys = static_cast<int>(state.range(1));
+  const double exact = static_cast<double>(spgemm::symbolic_nnz(a, a));
+  double err_sum = 0;
+  std::uint64_t draws = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const double est =
+        estimate::cohen_nnz_estimate(a, a, keys, seed++).total;
+    benchmark::DoNotOptimize(est);
+    err_sum += util::relative_error_pct(est, exact);
+    ++draws;
+  }
+  set_cf_counter(state, a);
+  state.counters["keys"] = keys;
+  state.counters["mean_err_pct"] =
+      draws > 0 ? err_sum / static_cast<double>(draws) : 0;
+}
+
+BENCHMARK(BM_ExactSymbolic)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cohen)
+    ->ArgsProduct({{0, 1, 2}, {3, 5, 10}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Microbenchmark behind the hybrid policy's recipe (§VII-B narrative):
+// every local-SpGEMM kernel across the cf spectrum. Reports measured
+// wall time of the real computation (google-benchmark) and, via
+// counters, the cost model's virtual time for the same multiply — so any
+// drift between "what we compute" and "what we charge" is visible in one
+// table.
+#include <benchmark/benchmark.h>
+
+#include "gpuk/esc.hpp"
+#include "gpuk/rmerge.hpp"
+#include "sim/costmodel.hpp"
+#include "sim/machine.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/heap.hpp"
+#include "spgemm/kernels.hpp"
+#include "spgemm/spa.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+
+/// Matrix whose square has roughly the requested compression factor:
+/// denser columns collide more, raising cf.
+C matrix_for_cf(vidx_t n, double density, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  sparse::Triples<vidx_t, val_t> t(n, n);
+  const auto entries = static_cast<std::uint64_t>(
+      density * static_cast<double>(n) * static_cast<double>(n));
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(n)),
+                     static_cast<vidx_t>(rng.bounded(n)), rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  return sparse::csc_from_triples(std::move(t));
+}
+
+struct Regime {
+  const char* name;
+  vidx_t n;
+  double density;
+};
+
+// low-cf: sparse random square; high-cf: dense columns.
+constexpr Regime kRegimes[] = {
+    {"low_cf", 2000, 0.002},
+    {"mid_cf", 600, 0.03},
+    {"high_cf", 300, 0.25},
+};
+
+template <typename Kernel>
+void run_kernel(benchmark::State& state, spgemm::KernelKind kind,
+                Kernel&& kernel) {
+  const Regime& regime = kRegimes[state.range(0)];
+  const C a = matrix_for_cf(regime.n, regime.density, 42);
+  const std::uint64_t flops = sparse::spgemm_flops(a, a);
+
+  std::uint64_t out_nnz = 0;
+  for (auto _ : state) {
+    C c = kernel(a, a);
+    out_nnz = c.nnz();
+    benchmark::DoNotOptimize(c);
+  }
+  const double cf = sparse::compression_factor(flops, out_nnz);
+
+  // Model time for the same multiply on the virtual Summit node (divided
+  // by work_scale back to "real machine" seconds for comparability).
+  auto machine = sim::summit_like(4);
+  const sim::CostModel model(machine);
+  const double width = static_cast<double>(a.nnz()) /
+                       static_cast<double>(a.ncols());
+  const double model_time =
+      model.local_spgemm(kind, flops, cf, width) / machine.work_scale;
+
+  state.counters["flops"] = static_cast<double>(flops);
+  state.counters["cf"] = cf;
+  state.counters["model_us"] = model_time * 1e6;
+  state.SetLabel(regime.name);
+}
+
+void BM_CpuHeap(benchmark::State& state) {
+  run_kernel(state, spgemm::KernelKind::kCpuHeap,
+             [](const C& a, const C& b) { return spgemm::heap_spgemm(a, b); });
+}
+void BM_CpuHash(benchmark::State& state) {
+  run_kernel(state, spgemm::KernelKind::kCpuHash,
+             [](const C& a, const C& b) { return spgemm::hash_spgemm(a, b); });
+}
+void BM_CpuSpa(benchmark::State& state) {
+  run_kernel(state, spgemm::KernelKind::kCpuSpa,
+             [](const C& a, const C& b) { return spgemm::spa_spgemm(a, b); });
+}
+void BM_GpuEsc(benchmark::State& state) {
+  run_kernel(state, spgemm::KernelKind::kGpuBhsparse,
+             [](const C& a, const C& b) { return gpuk::esc_spgemm(a, b); });
+}
+void BM_GpuRmerge(benchmark::State& state) {
+  run_kernel(state, spgemm::KernelKind::kGpuRmerge2,
+             [](const C& a, const C& b) { return gpuk::rmerge_spgemm(a, b); });
+}
+
+BENCHMARK(BM_CpuHeap)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CpuHash)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CpuSpa)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GpuEsc)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GpuRmerge)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

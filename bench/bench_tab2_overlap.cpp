@@ -1,0 +1,50 @@
+// Table II: overlap efficiency of the Pipelined Sparse SUMMA. For each
+// network and node count, the individual times of the overlapped
+// operations (GPU SpGEMM including transfers, broadcasts, binary merge)
+// are compared to the achieved overall expansion time. The paper finds
+// overall ≈ SpGEMM + 15-20%: nearly all CPU work hides behind the device.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.5, "dataset size scale");
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const std::vector<int> node_counts = {16, 36, 64};
+  const core::MclParams params = bench::standard_params(80);
+
+  util::Table t("Table II — overlap efficiency (virtual s over all "
+                "expansions)");
+  t.header({"network", "#nodes", "SpGEMM", "bcast", "merge", "overall",
+            "overall/SpGEMM"});
+
+  for (const auto& name : gen::medium_dataset_names()) {
+    const gen::Dataset data = gen::make_dataset(name, scale);
+    for (const int nodes : node_counts) {
+      const auto r = bench::run(data, nodes, core::HipMclConfig::optimized(),
+                                params);
+      const auto s = bench::summa_totals(r);
+      t.row({name, util::Table::fmt_int(nodes), util::Table::fmt(s.spgemm, 1),
+             util::Table::fmt(s.bcast, 1), util::Table::fmt(s.merge, 1),
+             util::Table::fmt(s.overall, 1),
+             util::Table::fmt(s.overall / s.spgemm, 2)});
+    }
+  }
+  t.note("SpGEMM includes host<->device transfers, as in the paper's "
+         "measurement");
+  t.note("ideal overlap: overall == max(SpGEMM, bcast+merge); achieved "
+         "overall should exceed SpGEMM by only ~15-20%");
+  t.print(std::cout);
+
+  bench::print_paper_reference(
+      "Table II (archaea@16: SpGEMM 14.6, bcast 3.4, merge 3.1, overall "
+      "17.2): the overall time tracks the SpGEMM time within 15-20% "
+      "because broadcasts and merging hide behind the device.");
+  return 0;
+}

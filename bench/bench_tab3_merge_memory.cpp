@@ -1,0 +1,86 @@
+// Table III: peak memory used by the merge during the first ten MCL
+// iterations — multiway (original HipMCL, all stage results resident)
+// vs the incremental binary merge (Algorithm 2). The paper reports
+// 20-25% savings in the early iterations, shrinking as the matrix
+// thins out.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.5, "dataset size scale");
+  const int nodes = static_cast<int>(cli.get_int("nodes", 16,
+      "simulated nodes"));
+  const int iters = static_cast<int>(cli.get_int("iters", 10,
+      "MCL iterations to report"));
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const core::MclParams params = bench::standard_params(80);
+  constexpr double kBytesPerElem = sizeof(vidx_t) + sizeof(val_t);
+  constexpr double kMiB = 1024.0 * 1024.0;
+
+  util::Table t("Table III — peak merge memory (MiB across all ranks), "
+                "first " + std::to_string(iters) + " MCL iterations, " +
+                std::to_string(nodes) + " simulated nodes");
+  std::vector<std::string> header = {"MCL iter."};
+  for (const auto& name : gen::medium_dataset_names()) {
+    header.push_back(name + " mway");
+    header.push_back(name + " binary");
+    header.push_back(name + " impr.");
+  }
+  t.header(header);
+
+  std::vector<core::MclResult> mway, binary;
+  for (const auto& name : gen::medium_dataset_names()) {
+    const gen::Dataset data = gen::make_dataset(name, scale);
+    core::HipMclConfig multiway_config = core::HipMclConfig::optimized();
+    multiway_config.binary_merge = false;
+    mway.push_back(bench::run(data, nodes, multiway_config, params));
+    binary.push_back(
+        bench::run(data, nodes, core::HipMclConfig::optimized(), params));
+  }
+
+  double worst_impr = 100.0, best_impr = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    std::vector<std::string> row = {util::Table::fmt_int(i + 1)};
+    bool any = false;
+    for (std::size_t d = 0; d < mway.size(); ++d) {
+      if (i >= static_cast<int>(mway[d].iters.size()) ||
+          i >= static_cast<int>(binary[d].iters.size())) {
+        row.insert(row.end(), {"-", "-", "-"});
+        continue;
+      }
+      any = true;
+      const double m = static_cast<double>(mway[d].iters[static_cast<std::size_t>(i)]
+                                               .merge_peak_sum) *
+                       kBytesPerElem / kMiB;
+      const double b = static_cast<double>(binary[d].iters[static_cast<std::size_t>(i)]
+                                               .merge_peak_sum) *
+                       kBytesPerElem / kMiB;
+      const double impr = m > 0 ? (m - b) / m * 100.0 : 0.0;
+      worst_impr = std::min(worst_impr, impr);
+      best_impr = std::max(best_impr, impr);
+      row.push_back(util::Table::fmt(m, 2));
+      row.push_back(util::Table::fmt(b, 2));
+      row.push_back(util::Table::fmt_pct(impr, 0));
+    }
+    if (!any) break;
+    t.row(row);
+  }
+  t.note("improvement range across cells: " +
+         util::Table::fmt_pct(worst_impr, 0) + " to " +
+         util::Table::fmt_pct(best_impr, 0));
+  t.print(std::cout);
+
+  bench::print_paper_reference(
+      "Table III: binary merge needs 20-25% less peak memory than "
+      "multiway in iterations 1-9, tapering (15-22%) as the matrix "
+      "sparsifies. Expected shape: consistent double-digit savings, "
+      "absolute peaks decaying after iteration 2.");
+  return 0;
+}

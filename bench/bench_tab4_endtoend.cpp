@@ -1,0 +1,77 @@
+// Table IV: end-to-end clustering time, original vs optimized HipMCL.
+// The paper: isom100-1 on 100 Summit nodes drops from 3.34h to 16.2m
+// (12.4x); isom100 and metaclust50 run only with the optimized code at
+// larger node counts. We reproduce the head-to-head on the isom analog
+// and report optimized-only numbers for the two large analogs.
+#include "common.hpp"
+
+#include "gen/planted.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.6, "dataset size scale");
+  const double big_scale = cli.get_double("big-scale", 0.5,
+      "scale for the larger networks");
+  const int select_k = static_cast<int>(cli.get_int("select-k", 140,
+      "MCL selection number (density fidelity, see bench_fig1)"));
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const core::MclParams params = bench::standard_params(select_k);
+
+  util::Table t("Table IV — end-to-end runtime (virtual), original vs "
+                "optimized HipMCL");
+  t.header({"network", "config", "#nodes", "time (virtual s)", "clusters",
+            "F1 vs planted"});
+
+  auto add_row = [&](const gen::Dataset& data, const std::string& config_name,
+                     const core::HipMclConfig& config, int nodes,
+                     bool cpu_only) -> double {
+    const auto r = bench::run(data, nodes, config, params,
+                              sim::NodeMode::kThreadBased, 6, cpu_only);
+    const auto q = gen::score_clustering(r.labels, data.graph.labels);
+    t.row({data.name, config_name, util::Table::fmt_int(nodes),
+           util::Table::fmt(r.elapsed, 1),
+           util::Table::fmt_int(r.num_clusters),
+           util::Table::fmt(q.f1, 3)});
+    return r.elapsed;
+  };
+
+  // Head-to-head on the isom100-1 analog at 100 nodes.
+  {
+    const gen::Dataset isom = gen::make_dataset("isom-mini", scale);
+    const double orig = add_row(isom, "HipMCL [original]",
+                                core::HipMclConfig::original(), 100, true);
+    const double opt = add_row(isom, "Optimized HipMCL",
+                               core::HipMclConfig::optimized(), 100, false);
+    t.note("isom-mini speedup at 100 nodes: " +
+           util::Table::fmt_speedup(orig / opt) +
+           " (paper: 12.4x on isom100-1)");
+    // The paper also runs isom100 at two node counts with the optimized
+    // code; mirror that with the same analog at 529 and 1024 nodes.
+    add_row(isom, "Optimized HipMCL", core::HipMclConfig::optimized(), 529,
+            false);
+    add_row(isom, "Optimized HipMCL", core::HipMclConfig::optimized(), 1024,
+            false);
+  }
+
+  // metaclust50 analog, optimized only.
+  {
+    const gen::Dataset meta = gen::make_dataset("metaclust-mini", big_scale);
+    add_row(meta, "Optimized HipMCL", core::HipMclConfig::optimized(), 729,
+            false);
+  }
+  t.print(std::cout);
+
+  bench::print_paper_reference(
+      "Table IV: isom100-1 3.34h (original) vs 16.2m (optimized) on 100 "
+      "nodes = 12.4x; isom100 22.6m @529 / 14.1m @1024 nodes; metaclust50 "
+      "1.04h @729 nodes. Expected shape: order-of-magnitude original-vs-"
+      "optimized gap; more nodes still help the optimized code.");
+  return 0;
+}

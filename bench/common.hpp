@@ -1,0 +1,84 @@
+// Shared scaffolding for the experiment-reproduction benches: dataset
+// construction at a bench-friendly scale, standard MCL parameters, and
+// paper-vs-measured reporting helpers.
+//
+// Every bench prints (1) the regenerated table/figure from the simulated
+// runs and (2) a "paper reference" note stating the shape the original
+// reports, so EXPERIMENTS.md can record both side by side.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/hipmcl.hpp"
+#include "gen/datasets.hpp"
+#include "sim/machine.hpp"
+#include "sim/timeline.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace mclx::bench {
+
+/// MCL parameters used across benches: inflation 2 (as in all paper
+/// experiments), selection number scaled from the paper's ~1000 to the
+/// mini datasets.
+inline core::MclParams standard_params(int select_k = 60) {
+  core::MclParams p;
+  p.inflation = 2.0;
+  p.prune.cutoff = 1e-4;
+  p.prune.select_k = select_k;
+  p.max_iters = 40;
+  return p;
+}
+
+/// One full HipMCL run; wall time of the *real* computation is printed to
+/// stderr so cost-model drift stays visible next to virtual seconds.
+inline core::MclResult run(const gen::Dataset& data, int nodes,
+                           const core::HipMclConfig& config,
+                           const core::MclParams& params,
+                           sim::NodeMode mode = sim::NodeMode::kThreadBased,
+                           int gpus = 6, bool cpu_only = false) {
+  auto machine = cpu_only ? sim::summit_like_cpu_only(nodes)
+                          : sim::summit_like(nodes, mode, gpus);
+  sim::SimState sim(machine);
+  util::WallTimer wall;
+  core::MclResult result = core::run_hipmcl(data.graph.edges, params, config,
+                                            sim);
+  std::cerr << "[bench] " << data.name << " @" << nodes << " nodes: "
+            << result.iterations << " iters, virtual "
+            << util::Table::fmt(result.elapsed, 1) << "s, real "
+            << util::Table::fmt(wall.elapsed_s(), 1) << "s\n";
+  return result;
+}
+
+inline void print_paper_reference(const std::string& text) {
+  std::cout << "\nPaper reference: " << text << "\n";
+}
+
+/// Sum one stage over every iteration of a result.
+inline double stage_total(const core::MclResult& r, sim::Stage s) {
+  return r.stage_times[static_cast<std::size_t>(s)];
+}
+
+/// Expansion-window (Table II) aggregates over all iterations.
+struct SummaTotals {
+  double spgemm = 0, bcast = 0, merge = 0, overall = 0;
+  double cpu_idle = 0, gpu_idle = 0;
+};
+
+inline SummaTotals summa_totals(const core::MclResult& r) {
+  SummaTotals t;
+  for (const auto& it : r.iters) {
+    t.spgemm += it.summa.spgemm_time;
+    t.bcast += it.summa.bcast_time;
+    t.merge += it.summa.merge_time;
+    t.overall += it.summa.elapsed;
+    t.cpu_idle += it.summa.cpu_idle;
+    t.gpu_idle += it.summa.gpu_idle;
+  }
+  return t;
+}
+
+}  // namespace mclx::bench

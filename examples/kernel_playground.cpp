@@ -1,0 +1,88 @@
+// Kernel playground: sweep compression-factor regimes and watch which
+// kernel the hybrid policy picks, with per-kernel model times — an
+// interactive view of the §VII-B selection recipe.
+//
+//   ./kernel_playground [--n 500] [--flops-threshold 4096]
+#include <iostream>
+
+#include "mclx.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const auto n = static_cast<vidx_t>(cli.get_int("n", 500, "matrix size"));
+  const auto flops_threshold = static_cast<std::uint64_t>(cli.get_int(
+      "flops-threshold", 1 << 12, "hybrid policy's min GPU flops"));
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const auto machine = sim::summit_like(4);
+  const sim::CostModel model(machine);
+  spgemm::HybridPolicy policy;
+  policy.min_gpu_flops = flops_threshold;
+
+  struct Regime {
+    const char* name;
+    double density;
+  };
+  const Regime regimes[] = {
+      {"hypersparse", 0.4 / static_cast<double>(n)},
+      {"graph-like", 4.0 / static_cast<double>(n)},
+      {"mcl-early", 0.02},
+      {"mcl-dense", 0.10},
+      {"near-dense", 0.30},
+  };
+
+  util::Table t("Hybrid kernel selection across density regimes (A*A, n=" +
+                std::to_string(n) + ")");
+  t.header({"regime", "nnz(A)", "flops", "cf", "cpu-hash s", "cpu-heap s",
+            "nsparse s", "rmerge2 s", "hybrid picks"});
+
+  for (const auto& regime : regimes) {
+    util::Xoshiro256 rng(7);
+    sparse::Triples<vidx_t, val_t> tr(n, n);
+    const auto entries = static_cast<std::uint64_t>(
+        regime.density * static_cast<double>(n) * static_cast<double>(n));
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      tr.push_unchecked(static_cast<vidx_t>(rng.bounded(n)),
+                        static_cast<vidx_t>(rng.bounded(n)),
+                        rng.uniform_pos());
+    }
+    tr.sort_and_combine();
+    const auto a = sparse::csc_from_triples(std::move(tr));
+
+    const std::uint64_t flops = sparse::spgemm_flops(a, a);
+    const auto c = spgemm::hash_spgemm(a, a);
+    const double cf = sparse::compression_factor(flops, c.nnz());
+    const double width = a.ncols() > 0 ? static_cast<double>(a.nnz()) /
+                                             static_cast<double>(a.ncols())
+                                       : 0.0;
+
+    const auto pick = policy.select(flops, cf, /*gpu_available=*/true);
+    t.row({regime.name,
+           util::Table::fmt_int(static_cast<long long>(a.nnz())),
+           util::Table::fmt_int(static_cast<long long>(flops)),
+           util::Table::fmt(cf, 1),
+           util::Table::fmt(model.local_spgemm(
+               spgemm::KernelKind::kCpuHash, flops, cf, width), 3),
+           util::Table::fmt(model.local_spgemm(
+               spgemm::KernelKind::kCpuHeap, flops, cf, width), 3),
+           util::Table::fmt(model.local_spgemm(
+               spgemm::KernelKind::kGpuNsparse, flops, cf, width), 3),
+           util::Table::fmt(model.local_spgemm(
+               spgemm::KernelKind::kGpuRmerge2, flops, cf, width), 3),
+           std::string(spgemm::kernel_name(pick))});
+  }
+  t.note("GPU columns are single-device kernel times; a node divides the "
+         "columns over " + std::to_string(machine.gpus_per_rank) + " GPUs");
+  t.note("selection: flops < threshold -> CPU (heap if cf < 1.5 else "
+         "hash); otherwise GPU (nsparse if cf >= 4 else rmerge2)");
+  t.print(std::cout);
+  return 0;
+}

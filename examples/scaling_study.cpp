@@ -1,0 +1,86 @@
+// Scaling study driver: sweep a dataset across simulated node counts and
+// configurations, printing a strong-scaling table — the tool you reach
+// for before requesting an allocation.
+//
+//   ./scaling_study [--dataset eukarya-mini] [--scale 0.5]
+//                   [--nodes 16,36,64,100] [--config optimized]
+#include <iostream>
+#include <sstream>
+
+#include "mclx.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<int> parse_node_list(const std::string& csv) {
+  std::vector<int> nodes;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) nodes.push_back(std::stoi(item));
+  return nodes;
+}
+
+mclx::core::HipMclConfig config_by_name(const std::string& name) {
+  if (name == "original") return mclx::core::HipMclConfig::original();
+  if (name == "no-overlap")
+    return mclx::core::HipMclConfig::optimized_no_overlap();
+  if (name == "optimized") return mclx::core::HipMclConfig::optimized();
+  throw std::invalid_argument(
+      "unknown config (want original/no-overlap/optimized): " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const std::string dataset = cli.get("dataset", "eukarya-mini",
+      "dataset recipe name");
+  const double scale = cli.get_double("scale", 0.5, "dataset size scale");
+  const std::string nodes_csv = cli.get("nodes", "16,36,64,100",
+      "comma-separated perfect-square node counts");
+  const std::string config_name = cli.get("config", "optimized",
+      "original | no-overlap | optimized");
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  const gen::Dataset data = gen::make_dataset(dataset, scale);
+  const core::HipMclConfig config = config_by_name(config_name);
+  const bool cpu_only = config_name == "original";
+  core::MclParams params;
+  params.prune.select_k = 80;
+
+  std::cout << dataset << ": " << data.graph.edges.nrows() << " vertices, "
+            << data.graph.edges.nnz() << " edges; config " << config_name
+            << "\n";
+
+  util::Table t("Strong scaling — " + dataset + " (" + config_name + ")");
+  t.header({"#nodes", "time (virtual s)", "speedup", "efficiency",
+            "iters", "clusters"});
+  double t0 = 0;
+  int n0 = 0;
+  for (const int nodes : parse_node_list(nodes_csv)) {
+    auto machine = cpu_only ? sim::summit_like_cpu_only(nodes)
+                            : sim::summit_like(nodes);
+    sim::SimState sim(machine);
+    const auto r = core::run_hipmcl(data.graph.edges, params, config, sim);
+    if (t0 == 0) {
+      t0 = r.elapsed;
+      n0 = nodes;
+    }
+    t.row({util::Table::fmt_int(nodes), util::Table::fmt(r.elapsed, 1),
+           util::Table::fmt_speedup(t0 / r.elapsed, 2),
+           util::Table::fmt_pct(
+               util::parallel_efficiency(t0, n0, r.elapsed, nodes) * 100, 0),
+           util::Table::fmt_int(r.iterations),
+           util::Table::fmt_int(r.num_clusters)});
+  }
+  t.print(std::cout);
+  return 0;
+}

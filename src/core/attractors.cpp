@@ -1,0 +1,149 @@
+#include "core/attractors.hpp"
+
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace mclx::core {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), vidx_t{0});
+  }
+  vidx_t find(vidx_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(vidx_t a, vidx_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b) {
+      parent_[static_cast<std::size_t>(b)] = a;
+    } else {
+      parent_[static_cast<std::size_t>(a)] = b;
+    }
+  }
+
+ private:
+  std::vector<vidx_t> parent_;
+};
+
+}  // namespace
+
+AttractorResult interpret_attractors(const dist::DistMat& m,
+                                     double diag_threshold) {
+  if (m.nrows() != m.ncols())
+    throw std::invalid_argument("interpret_attractors: matrix not square");
+  const auto n = static_cast<std::size_t>(m.nrows());
+
+  AttractorResult out;
+  out.is_attractor.assign(n, false);
+
+  // Pass 1: attractors = vertices with returning flow (diagonal mass).
+  for (int i = 0; i < m.dim(); ++i) {
+    for (int j = 0; j < m.dim(); ++j) {
+      const dist::DcscD& b = m.block(i, j);
+      const vidx_t ro = m.row_offset(i);
+      const vidx_t co = m.col_offset(j);
+      for (vidx_t k = 0; k < b.nzc(); ++k) {
+        const vidx_t col = co + b.nz_col_id(k);
+        const auto rows = b.nz_col_rows(k);
+        const auto vals = b.nz_col_vals(k);
+        for (std::size_t p = 0; p < rows.size(); ++p) {
+          if (ro + rows[p] == col && vals[p] >= diag_threshold) {
+            out.is_attractor[static_cast<std::size_t>(col)] = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 2: attractor systems — attractors linked by flow between them —
+  // and, per ordinary vertex, the flow mass it sends to each system root.
+  UnionFind uf(n);
+  for (int i = 0; i < m.dim(); ++i) {
+    for (int j = 0; j < m.dim(); ++j) {
+      const dist::DcscD& b = m.block(i, j);
+      const vidx_t ro = m.row_offset(i);
+      const vidx_t co = m.col_offset(j);
+      for (vidx_t k = 0; k < b.nzc(); ++k) {
+        const vidx_t col = co + b.nz_col_id(k);
+        if (!out.is_attractor[static_cast<std::size_t>(col)]) continue;
+        for (const vidx_t row : b.nz_col_rows(k)) {
+          const vidx_t target = ro + row;
+          if (out.is_attractor[static_cast<std::size_t>(target)]) {
+            uf.unite(col, target);
+          }
+        }
+      }
+    }
+  }
+
+  // flow[v][root] = mass vertex v sends into that attractor system.
+  std::vector<std::map<vidx_t, double>> flow(n);
+  for (int i = 0; i < m.dim(); ++i) {
+    for (int j = 0; j < m.dim(); ++j) {
+      const dist::DcscD& b = m.block(i, j);
+      const vidx_t ro = m.row_offset(i);
+      const vidx_t co = m.col_offset(j);
+      for (vidx_t k = 0; k < b.nzc(); ++k) {
+        const vidx_t col = co + b.nz_col_id(k);
+        const auto rows = b.nz_col_rows(k);
+        const auto vals = b.nz_col_vals(k);
+        for (std::size_t p = 0; p < rows.size(); ++p) {
+          const vidx_t target = ro + rows[p];
+          if (out.is_attractor[static_cast<std::size_t>(target)]) {
+            flow[static_cast<std::size_t>(col)][uf.find(target)] += vals[p];
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 3: canonical labels per system root (ordered by smallest member),
+  // assignment by strongest flow, overlap detection.
+  std::map<vidx_t, vidx_t> root_label;
+  out.labels.assign(n, vidx_t{-1});
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!out.is_attractor[v]) continue;
+    const vidx_t root = uf.find(static_cast<vidx_t>(v));
+    if (root_label.emplace(root, static_cast<vidx_t>(root_label.size()))
+            .second) {
+      out.num_clusters = static_cast<vidx_t>(root_label.size());
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (out.is_attractor[v]) {
+      out.labels[v] = root_label.at(uf.find(static_cast<vidx_t>(v)));
+      continue;
+    }
+    const auto& f = flow[v];
+    if (f.empty()) {
+      // No flow to any attractor (isolated residue): its own cluster.
+      out.labels[v] = out.num_clusters++;
+      continue;
+    }
+    if (f.size() > 1) out.overlapping.push_back(static_cast<vidx_t>(v));
+    vidx_t best_root = f.begin()->first;
+    double best_mass = f.begin()->second;
+    for (const auto& [root, mass] : f) {
+      if (mass > best_mass) {
+        best_root = root;
+        best_mass = mass;
+      }
+    }
+    out.labels[v] = root_label.at(best_root);
+  }
+  return out;
+}
+
+}  // namespace mclx::core

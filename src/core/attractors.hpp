@@ -1,0 +1,34 @@
+// Attractor-based cluster interpretation — van Dongen's canonical MCL
+// semantics. In the converged matrix, *attractors* are vertices with
+// returning flow (a positive diagonal entry); each attractor system (set
+// of attractors connected through one another) forms a cluster core, and
+// every ordinary vertex joins the system(s) it flows to. HipMCL's
+// connected-components interpretation coincides with this on cleanly
+// converged matrices; the attractor view additionally exposes overlap
+// (a vertex flowing to two systems) — a property MCL is known for.
+#pragma once
+
+#include <vector>
+
+#include "dist/distmat.hpp"
+#include "util/types.hpp"
+
+namespace mclx::core {
+
+struct AttractorResult {
+  /// Cluster id per vertex (a vertex with flow into multiple systems is
+  /// assigned its strongest; see `overlapping`).
+  std::vector<vidx_t> labels;
+  vidx_t num_clusters = 0;
+  /// Vertices that flow into more than one attractor system.
+  std::vector<vidx_t> overlapping;
+  /// Attractor flag per vertex.
+  std::vector<bool> is_attractor;
+};
+
+/// Interpret a converged (column-stochastic, sparse) MCL matrix.
+/// `diag_threshold`: minimum diagonal value to call a vertex an attractor.
+AttractorResult interpret_attractors(const dist::DistMat& m,
+                                     double diag_threshold = 1e-8);
+
+}  // namespace mclx::core

@@ -1,0 +1,18 @@
+// MCL convergence metric ("chaos"). For a column-stochastic column c,
+//   chaos(c) = max(c) − Σ c_i²
+// is zero exactly when the column has collapsed to a single unit entry
+// (a converged attractor) and positive otherwise; the global chaos is the
+// maximum over columns. This is the HipMCL-compatible definition: the
+// algorithm stops when chaos falls below a small epsilon.
+#pragma once
+
+#include "dist/distmat.hpp"
+#include "sim/timeline.hpp"
+
+namespace mclx::core {
+
+/// Global chaos of a column-stochastic distributed matrix. Charges the
+/// local passes and the per-grid-column reductions to Stage::kOther.
+double distributed_chaos(const dist::DistMat& m, sim::SimState& sim);
+
+}  // namespace mclx::core

@@ -1,0 +1,145 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace mclx::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'C', 'L', 'X', 'C', 'K', 'P', '1'};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("checkpoint: " + what);
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) fail("truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& cp) {
+  // Write to a temp file then rename: a kill mid-write must not destroy
+  // the previous checkpoint.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) fail("cannot open for write: " + tmp);
+    out.write(kMagic, 8);
+    write_pod(out, static_cast<std::int64_t>(cp.completed_iterations));
+    write_pod(out, cp.matrix.nrows());
+    write_pod(out, cp.matrix.ncols());
+    write_pod(out, static_cast<std::uint64_t>(cp.matrix.nnz()));
+    for (const auto& e : cp.matrix) {
+      write_pod(out, e.row);
+      write_pod(out, e.col);
+      write_pod(out, e.val);
+    }
+    if (!out) fail("write failed: " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<Checkpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // absent: fresh start
+  char magic[8];
+  in.read(magic, 8);
+  if (!in || std::memcmp(magic, kMagic, 8) != 0)
+    fail("bad magic in " + path);
+  Checkpoint cp;
+  cp.completed_iterations =
+      static_cast<int>(read_pod<std::int64_t>(in));
+  const auto nrows = read_pod<vidx_t>(in);
+  const auto ncols = read_pod<vidx_t>(in);
+  const auto nnz = read_pod<std::uint64_t>(in);
+  if (nrows < 0 || ncols < 0 || cp.completed_iterations < 0)
+    fail("corrupt header in " + path);
+  cp.matrix = sparse::Triples<vidx_t, val_t>(nrows, ncols);
+  cp.matrix.reserve(nnz);
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    const auto row = read_pod<vidx_t>(in);
+    const auto col = read_pod<vidx_t>(in);
+    const auto val = read_pod<val_t>(in);
+    if (row < 0 || row >= nrows || col < 0 || col >= ncols)
+      fail("entry out of bounds in " + path);
+    cp.matrix.push_unchecked(row, col, val);
+  }
+  return cp;
+}
+
+MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
+                                  const MclParams& params,
+                                  const HipMclConfig& config,
+                                  sim::SimState& sim,
+                                  const std::string& path, int every) {
+  if (every <= 0)
+    throw std::invalid_argument("run_hipmcl_checkpointed: every <= 0");
+
+  // Resume state, or the raw input for a fresh start.
+  dist::TriplesD current = graph;
+  int done = 0;
+  bool resumed = false;
+  if (auto cp = load_checkpoint(path)) {
+    current = std::move(cp->matrix);
+    done = cp->completed_iterations;
+    resumed = true;
+    util::log_info("checkpoint: resuming after ", done, " iterations");
+  }
+
+  MclResult total;
+  HipMclConfig chunk_config = config;
+  chunk_config.keep_final_matrix = true;
+  MclParams chunk_params = params;
+  // A resumed matrix is already stochastic with loops; the initializer
+  // must not add a second set of self loops.
+  chunk_params.add_self_loops = params.add_self_loops && !resumed;
+
+  while (done < params.max_iters) {
+    chunk_params.max_iters = std::min(every, params.max_iters - done);
+    MclResult chunk =
+        run_hipmcl(current, chunk_params, chunk_config, sim);
+
+    done += chunk.iterations;
+    total.iterations += chunk.iterations;
+    for (std::size_t s = 0; s < sim::kNumStages; ++s) {
+      total.stage_times[s] += chunk.stage_times[s];
+    }
+    total.elapsed += chunk.elapsed;
+    total.mean_cpu_idle += chunk.mean_cpu_idle;
+    total.mean_gpu_idle += chunk.mean_gpu_idle;
+    for (auto& it : chunk.iters) {
+      it.iter = static_cast<int>(total.iters.size()) + 1;
+      total.iters.push_back(it);
+    }
+    total.labels = std::move(chunk.labels);
+    total.num_clusters = chunk.num_clusters;
+    total.converged = chunk.converged;
+
+    current = chunk.final_matrix->to_triples();
+    save_checkpoint(path, {current, done});
+    if (config.keep_final_matrix) {
+      total.final_matrix = std::move(chunk.final_matrix);
+    }
+    if (chunk.converged) break;
+    // Subsequent chunks continue from a stochastic matrix.
+    chunk_params.add_self_loops = false;
+  }
+  return total;
+}
+
+}  // namespace mclx::core

@@ -1,0 +1,38 @@
+// Checkpoint / restart for long MCL runs. Clustering the paper's largest
+// networks takes hours even optimized; a production run wants to survive
+// a node failure or a queue-limit kill. The checkpoint captures exactly
+// what the next iteration needs: the current column-stochastic matrix and
+// the iteration counter (MCL is a Markov iteration — no other state).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/hipmcl.hpp"
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::core {
+
+struct Checkpoint {
+  sparse::Triples<vidx_t, val_t> matrix;  ///< current A (stochastic)
+  int completed_iterations = 0;
+};
+
+/// Write a checkpoint (binary; magic-tagged, versioned via snapshot IO).
+void save_checkpoint(const std::string& path, const Checkpoint& cp);
+
+/// Load, or nullopt when the file does not exist. Corrupt files throw.
+std::optional<Checkpoint> load_checkpoint(const std::string& path);
+
+/// run_hipmcl with checkpointing: writes `path` every `every` iterations
+/// and, when `path` already holds a checkpoint, resumes from it instead
+/// of starting over. The returned result counts only the iterations this
+/// call executed; `completed_iterations` in the file accumulates.
+MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
+                                  const MclParams& params,
+                                  const HipMclConfig& config,
+                                  sim::SimState& sim,
+                                  const std::string& path, int every = 5);
+
+}  // namespace mclx::core

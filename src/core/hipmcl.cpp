@@ -1,0 +1,277 @@
+#include "core/hipmcl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/chaos.hpp"
+#include "core/inflate.hpp"
+#include "dist/cc.hpp"
+#include "dist/summa.hpp"
+#include "estimate/cohen.hpp"
+#include "estimate/planner.hpp"
+#include "sim/collectives.hpp"
+#include "sim/costmodel.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/log.hpp"
+
+namespace mclx::core {
+
+namespace {
+
+using sim::Stage;
+
+/// Charge the communication sweep of the *exact* estimator: it mimics the
+/// Sparse SUMMA broadcast schedule (symbolic multiply needs the same
+/// operand movement), which is why it scales as poorly as expansion (§V,
+/// Fig 8).
+void charge_symbolic_sweep(const dist::DistMat& a, sim::SimState& sim,
+                           std::uint64_t total_flops) {
+  const sim::CostModel model(sim.machine());
+  const int dim = a.dim();
+  for (int k = 0; k < dim; ++k) {
+    for (int i = 0; i < dim; ++i) {
+      sim::sim_bcast(sim, a.grid().row_ranks(i), a.block(i, k).bytes(),
+                     Stage::kMemEstimation);
+    }
+    for (int j = 0; j < dim; ++j) {
+      sim::sim_bcast(sim, a.grid().col_ranks(j), a.block(k, j).bytes(),
+                     Stage::kMemEstimation);
+    }
+  }
+  const std::uint64_t per_rank =
+      total_flops / static_cast<std::uint64_t>(sim.nranks());
+  for (int r = 0; r < sim.nranks(); ++r) {
+    sim.rank(r).cpu_run(Stage::kMemEstimation,
+                        model.symbolic_spgemm(per_rank));
+  }
+}
+
+/// Charge the probabilistic estimator. Its distributed implementation
+/// reuses the Sparse SUMMA communication schedule to move the operand
+/// blocks whose patterns the key propagation traverses — "it mimics the
+/// execution of Sparse SUMMA algorithm" (§VII-E) — which is why memory
+/// estimation remains the worst-scaling stage of the optimized code
+/// (Fig 8) even though its computation is only O(r·nnz). With
+/// gpu_offload, the key propagation runs on the devices; the sweep and
+/// the final exchange stay on the host.
+void charge_cohen(const dist::DistMat& a, sim::SimState& sim, int keys,
+                  bool gpu_offload) {
+  const sim::CostModel model(sim.machine());
+  const auto nranks = static_cast<std::uint64_t>(sim.nranks());
+  const std::uint64_t share = a.nnz() / std::max<std::uint64_t>(1, nranks);
+  const bool on_gpu = gpu_offload && sim.machine().gpus_per_rank > 0;
+
+  // The un-pipelined SUMMA-like operand sweep (future work ports it to
+  // the pipelined GPU path).
+  const int dim = a.dim();
+  for (int k = 0; k < dim; ++k) {
+    for (int i = 0; i < dim; ++i) {
+      sim::sim_bcast(sim, a.grid().row_ranks(i), a.block(i, k).bytes(),
+                     Stage::kMemEstimation);
+    }
+    for (int j = 0; j < dim; ++j) {
+      sim::sim_bcast(sim, a.grid().col_ranks(j), a.block(k, j).bytes(),
+                     Stage::kMemEstimation);
+    }
+  }
+  for (int r = 0; r < sim.nranks(); ++r) {
+    auto& tl = sim.rank(r);
+    if (on_gpu) {
+      const bytes_t key_bytes =
+          share * (sizeof(vidx_t) + sizeof(val_t)) / 4;  // indices + keys
+      tl.cpu_run(Stage::kMemEstimation, model.h2d(key_bytes));
+      const vtime_t done = tl.gpu_run(
+          Stage::kMemEstimation, model.cohen_estimate_gpu(share, share, keys),
+          tl.cpu_now());
+      // The host needs the final keys back before the exchange.
+      tl.cpu_wait_until(done + model.d2h(key_bytes));
+    } else {
+      tl.cpu_run(Stage::kMemEstimation,
+                 model.cohen_estimate(share, share, keys));
+    }
+  }
+  // Mid-layer key exchange: r doubles per (block-local) column.
+  for (int j = 0; j < dim; ++j) {
+    const bytes_t bytes = static_cast<bytes_t>(a.block_cols(j)) *
+                          static_cast<bytes_t>(keys) * sizeof(double);
+    sim::sim_allreduce(sim, a.grid().col_ranks(j), bytes,
+                       Stage::kMemEstimation);
+  }
+}
+
+sim::StageTimes stage_delta(const sim::SimState& sim,
+                            const sim::StageTimes& before) {
+  sim::StageTimes now = sim.critical_stage_times();
+  for (std::size_t s = 0; s < sim::kNumStages; ++s) now[s] -= before[s];
+  return now;
+}
+
+}  // namespace
+
+HipMclConfig HipMclConfig::original() {
+  HipMclConfig c;
+  c.kernel = spgemm::KernelPolicy::fixed_kernel(spgemm::KernelKind::kCpuHeap);
+  c.pipelined = false;
+  c.binary_merge = false;
+  c.estimator = EstimatorKind::kExactSymbolic;
+  return c;
+}
+
+HipMclConfig HipMclConfig::optimized_no_overlap() {
+  HipMclConfig c;
+  c.kernel = spgemm::KernelPolicy::hybrid_policy();
+  c.pipelined = false;
+  c.binary_merge = false;
+  c.estimator = EstimatorKind::kProbabilistic;
+  return c;
+}
+
+HipMclConfig HipMclConfig::optimized() {
+  HipMclConfig c;
+  c.kernel = spgemm::KernelPolicy::hybrid_policy();
+  c.pipelined = true;
+  c.binary_merge = true;
+  c.estimator = EstimatorKind::kProbabilistic;
+  return c;
+}
+
+MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
+                     const HipMclConfig& config, sim::SimState& sim) {
+  if (graph.nrows() != graph.ncols())
+    throw std::invalid_argument("run_hipmcl: graph matrix must be square");
+  if (params.inflation <= 1.0)
+    throw std::invalid_argument("run_hipmcl: inflation must exceed 1");
+
+  const dist::ProcGrid grid(sim.nranks());
+  const sim::CostModel model(sim.machine());
+  const bytes_t mem_budget = config.mem_budget_per_rank != 0
+                                 ? config.mem_budget_per_rank
+                                 : sim.machine().mem_per_rank;
+
+  // --- initialization: self loops + column-stochastic normalization -----
+  dist::TriplesD init = graph;
+  if (params.add_self_loops) {
+    for (vidx_t v = 0; v < graph.nrows(); ++v) init.push_unchecked(v, v, 1.0);
+    init.sort_and_combine();
+  }
+  dist::DistMat a = dist::DistMat::from_triples(init, grid);
+  distributed_normalize(a, sim);
+
+  MclResult result;
+  const sim::StageTimes run_before = sim.critical_stage_times();
+  const vtime_t run_elapsed_before = sim.elapsed();
+
+  double prev_chaos = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < params.max_iters; ++iter) {
+    IterationReport rep;
+    rep.iter = iter + 1;
+    rep.nnz_before = a.nnz();
+    const sim::StageTimes iter_before = sim.critical_stage_times();
+    const vtime_t iter_elapsed_before = sim.elapsed();
+
+    // --- memory-requirement estimation (§V) ---------------------------
+    const dist::CscD ga = a.to_csc();  // gathered view used for real math
+    rep.flops = sparse::spgemm_flops(ga, ga);
+
+    bool use_exact = config.estimator == EstimatorKind::kExactSymbolic;
+    if (config.estimator == EstimatorKind::kAdaptive) {
+      // Previous iteration's cf decides; first iteration stays
+      // probabilistic (expansion cf is highest early).
+      use_exact = !result.iters.empty() &&
+                  result.iters.back().cf < config.adaptive_cf_threshold;
+    }
+    rep.used_exact_estimator = use_exact;
+
+    if (use_exact) {
+      rep.exact_unpruned_nnz =
+          static_cast<double>(spgemm::symbolic_nnz(ga, ga));
+      rep.est_unpruned_nnz = rep.exact_unpruned_nnz;
+      charge_symbolic_sweep(a, sim, rep.flops);
+    } else {
+      const auto est = estimate::cohen_nnz_estimate(
+          ga, ga, config.cohen_keys,
+          util::derive_seed(config.seed, static_cast<std::uint64_t>(iter)));
+      rep.est_unpruned_nnz = est.total;
+      charge_cohen(a, sim, config.cohen_keys, config.gpu_estimation);
+      if (config.measure_estimation_error) {
+        rep.exact_unpruned_nnz =
+            static_cast<double>(spgemm::symbolic_nnz(ga, ga));  // uncharged
+      }
+    }
+    rep.cf = rep.est_unpruned_nnz > 0
+                 ? static_cast<double>(rep.flops) / rep.est_unpruned_nnz
+                 : 1.0;
+
+    // --- phase planning -------------------------------------------------
+    estimate::PhasePlanInput plan_in;
+    plan_in.est_output_nnz = rep.est_unpruned_nnz;
+    plan_in.ncols_global = a.ncols();
+    plan_in.grid_dim = grid.dim();
+    plan_in.mem_budget_per_rank = mem_budget;
+    plan_in.guard_factor = config.guard_factor;
+    const estimate::PhasePlan plan = estimate::plan_phases(plan_in);
+    rep.phases = plan.phases;
+
+    // --- expansion (SUMMA) with fused prune -----------------------------
+    dist::SummaOptions opt;
+    opt.pipelined = config.pipelined;
+    opt.binary_merge = config.binary_merge;
+    opt.kernel = config.kernel;
+    opt.phases = plan.phases;
+    opt.cf_estimate = rep.cf;
+    const PruneParams prune = params.prune;
+    dist::SummaResult expansion = dist::summa_multiply(
+        a, a, sim, opt,
+        [&prune, &grid, &sim](int /*phase*/, std::vector<dist::CscD>& chunks) {
+          prune_chunks(chunks, grid, prune, sim);
+        });
+
+    rep.summa = expansion.stats;
+    rep.merge_peak_sum = expansion.stats.merge_peak_elements_sum;
+    rep.merge_peak_max = expansion.stats.merge_peak_elements_max;
+    rep.cpu_idle = expansion.stats.cpu_idle;
+    rep.gpu_idle = expansion.stats.gpu_idle;
+    rep.gpu_fallbacks = expansion.stats.gpu_fallbacks;
+    rep.nnz_after_prune = expansion.c.nnz();
+
+    // --- inflation -------------------------------------------------------
+    distributed_inflate(expansion.c, params.inflation, sim);
+    a = std::move(expansion.c);
+
+    // --- convergence -------------------------------------------------------
+    rep.chaos = distributed_chaos(a, sim);
+    rep.stage_times = stage_delta(sim, iter_before);
+    rep.elapsed = sim.elapsed() - iter_elapsed_before;
+    result.iters.push_back(rep);
+    util::log_info("mcl iter ", rep.iter, ": nnz=", rep.nnz_after_prune,
+                   " chaos=", rep.chaos, " phases=", rep.phases);
+
+    result.iterations = iter + 1;
+    if (rep.chaos < params.chaos_eps ||
+        (rep.chaos == prev_chaos && rep.nnz_after_prune == rep.nnz_before)) {
+      result.converged = true;
+      break;
+    }
+    prev_chaos = rep.chaos;
+  }
+
+  // --- interpretation: connected components are the clusters ------------
+  dist::ComponentsResult cc = dist::connected_components(a, sim);
+  result.labels = std::move(cc.labels);
+  result.num_clusters = cc.num_components;
+  if (config.keep_final_matrix) result.final_matrix = std::move(a);
+
+  result.stage_times = stage_delta(sim, run_before);
+  result.elapsed = sim.elapsed() - run_elapsed_before;
+  // Idle accounting follows Table V's definition: time spent waiting
+  // *inside* the pipelined SUMMA, summed across the run's expansions.
+  for (const auto& it : result.iters) {
+    result.mean_cpu_idle += it.cpu_idle;
+    result.mean_gpu_idle += it.gpu_idle;
+  }
+  return result;
+}
+
+}  // namespace mclx::core

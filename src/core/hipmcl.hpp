@@ -1,0 +1,120 @@
+// HipMCL driver: the full distributed Markov Cluster loop of Algorithm 1
+// with every optimization of the paper behind a configuration switch, so
+// "original HipMCL" and "optimized HipMCL" (and the intermediate
+// no-overlap variant of Fig 1) are the same code path with different
+// HipMclConfig values:
+//
+//                      original          optimized(no overlap)  optimized
+//  local kernel        cpu-heap          hybrid (GPU)            hybrid (GPU)
+//  SUMMA               blocking          blocking                pipelined
+//  merge               multiway          multiway                binary
+//  memory estimation   exact symbolic    probabilistic           probabilistic
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/prune.hpp"
+#include "dist/distmat.hpp"
+#include "dist/summa.hpp"
+#include "sim/stage.hpp"
+#include "sim/timeline.hpp"
+#include "spgemm/registry.hpp"
+#include "util/types.hpp"
+
+namespace mclx::core {
+
+struct MclParams {
+  double inflation = 2.0;     ///< paper uses 2 in all experiments
+  PruneParams prune;          ///< cutoff + selection number
+  int max_iters = 60;
+  double chaos_eps = 1e-3;    ///< converged when chaos drops below this
+  bool add_self_loops = true; ///< standard MCL initialization
+};
+
+enum class EstimatorKind {
+  kExactSymbolic,   ///< original HipMCL: full symbolic SpGEMM, O(flops)
+  kProbabilistic,   ///< §V: Cohen estimator, O(r·nnz)
+  /// §VII-D's refinement: "when cf is below a certain threshold, we use
+  /// the exact scheme" — probabilistic while the compression factor is
+  /// high (where it is much cheaper), exact once the previous iteration's
+  /// cf falls under adaptive_cf_threshold (late, thin iterations where
+  /// the symbolic pass is cheaper than r key sweeps).
+  kAdaptive,
+};
+
+struct HipMclConfig {
+  spgemm::KernelPolicy kernel = spgemm::KernelPolicy::hybrid_policy();
+  bool pipelined = true;
+  bool binary_merge = true;
+  EstimatorKind estimator = EstimatorKind::kProbabilistic;
+  int cohen_keys = 5;
+  /// Adaptive estimator: switch to the exact pass when the previous
+  /// iteration's cf drops below this (kAdaptive only).
+  double adaptive_cf_threshold = 4.0;
+  /// Future-work extension (§VIII): run the probabilistic estimation's
+  /// key propagation on the GPUs, pipelined against the host's key
+  /// exchange, instead of on the CPU threads. Ignored for the exact
+  /// estimator or on GPU-less machines.
+  bool gpu_estimation = false;
+  /// Memory available per rank for the unpruned product; 0 = use the
+  /// machine's mem_per_rank. Benches shrink it to force multi-phase runs.
+  bytes_t mem_budget_per_rank = 0;
+  double guard_factor = 0.85;
+  std::uint64_t seed = 0x5eedULL;
+  /// When set, also compute the quantity the configured estimator does
+  /// NOT produce (uncharged) so benches can report estimation error.
+  bool measure_estimation_error = false;
+  /// Keep the converged matrix in the result (for alternative
+  /// interpretations, e.g. interpret_attractors).
+  bool keep_final_matrix = false;
+
+  static HipMclConfig original();
+  static HipMclConfig optimized_no_overlap();
+  static HipMclConfig optimized();
+};
+
+struct IterationReport {
+  int iter = 0;
+  std::uint64_t nnz_before = 0;        ///< nnz(A) entering the iteration
+  std::uint64_t flops = 0;             ///< flops(A·A)
+  double est_unpruned_nnz = 0;         ///< estimator output
+  double exact_unpruned_nnz = 0;       ///< 0 unless exact path or measured
+  bool used_exact_estimator = false;   ///< which path this iteration took
+  double cf = 0;                       ///< flops / est nnz
+  int phases = 1;
+  std::uint64_t nnz_after_prune = 0;
+  double chaos = 0;
+  sim::StageTimes stage_times{};       ///< critical (max-rank) per-stage delta
+  vtime_t elapsed = 0;
+  /// Expansion-only (pipelined-SUMMA window) statistics: per-operation
+  /// times vs achieved overall — the quantities of Table II.
+  dist::SummaStats summa;
+  std::uint64_t merge_peak_sum = 0;    ///< Table III peak elements (all ranks)
+  std::uint64_t merge_peak_max = 0;
+  vtime_t cpu_idle = 0;                ///< mean per-rank idle this iteration
+  vtime_t gpu_idle = 0;
+  int gpu_fallbacks = 0;
+};
+
+struct MclResult {
+  std::vector<vidx_t> labels;          ///< cluster id per vertex
+  vidx_t num_clusters = 0;
+  /// The converged matrix (only when config.keep_final_matrix).
+  std::optional<dist::DistMat> final_matrix;
+  int iterations = 0;
+  bool converged = false;
+  std::vector<IterationReport> iters;
+  sim::StageTimes stage_times{};       ///< whole-run critical per-stage times
+  vtime_t elapsed = 0;                 ///< whole-run virtual wall time
+  vtime_t mean_cpu_idle = 0;
+  vtime_t mean_gpu_idle = 0;
+};
+
+/// Run HipMCL on `graph` (a weighted similarity network; made symmetric-
+/// stochastic internally) over the simulated machine in `sim`.
+MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
+                     const HipMclConfig& config, sim::SimState& sim);
+
+}  // namespace mclx::core

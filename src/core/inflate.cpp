@@ -1,0 +1,76 @@
+#include "core/inflate.hpp"
+
+#include <cmath>
+
+#include "sim/collectives.hpp"
+#include "sim/costmodel.hpp"
+
+namespace mclx::core {
+
+namespace {
+
+using sim::Stage;
+
+/// Column sums of grid column j, then divide every block's entries by
+/// their column's sum. The partial-sum exchange is one allreduce along
+/// the grid column.
+void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
+                            bool charge_pow) {
+  const sim::CostModel model(sim.machine());
+  const int dim = m.dim();
+
+  for (int j = 0; j < dim; ++j) {
+    const auto ncols = static_cast<std::size_t>(m.block_cols(j));
+    std::vector<val_t> sums(ncols, 0.0);
+    for (int i = 0; i < dim; ++i) {
+      const dist::DcscD& b = m.block(i, j);
+      for (vidx_t k = 0; k < b.nzc(); ++k) {
+        const auto c = static_cast<std::size_t>(b.nz_col_id(k));
+        for (const val_t v : b.nz_col_vals(k)) sums[c] += v;
+      }
+      // Local partial-sum pass.
+      const int rank = m.grid().rank_of(i, j);
+      sim.rank(rank).cpu_run(
+          Stage::kOther,
+          model.other(b.nnz() + static_cast<std::uint64_t>(ncols)));
+      if (charge_pow) {
+        sim.rank(rank).cpu_run(Stage::kOther, model.inflate(b.nnz()));
+      }
+    }
+    sim::sim_allreduce(sim, m.grid().col_ranks(j),
+                       static_cast<bytes_t>(ncols * sizeof(val_t)),
+                       Stage::kOther);
+    for (int i = 0; i < dim; ++i) {
+      dist::DcscD& b = m.mutable_block(i, j);
+      auto& num = b.num_mutable();
+      for (vidx_t k = 0; k < b.nzc(); ++k) {
+        const auto c = static_cast<std::size_t>(b.nz_col_id(k));
+        if (sums[c] == 0.0) continue;
+        for (vidx_t p = b.cp()[k]; p < b.cp()[k + 1]; ++p) {
+          num[static_cast<std::size_t>(p)] /= sums[c];
+        }
+      }
+      sim.rank(m.grid().rank_of(i, j))
+          .cpu_run(Stage::kOther, model.inflate(b.nnz()));
+    }
+  }
+}
+
+}  // namespace
+
+void distributed_inflate(dist::DistMat& m, double power, sim::SimState& sim) {
+  // Hadamard power: purely local.
+  for (int i = 0; i < m.dim(); ++i) {
+    for (int j = 0; j < m.dim(); ++j) {
+      dist::DcscD& b = m.mutable_block(i, j);
+      for (auto& v : b.num_mutable()) v = std::pow(v, power);
+    }
+  }
+  normalize_grid_columns(m, sim, /*charge_pow=*/true);
+}
+
+void distributed_normalize(dist::DistMat& m, sim::SimState& sim) {
+  normalize_grid_columns(m, sim, /*charge_pow=*/false);
+}
+
+}  // namespace mclx::core

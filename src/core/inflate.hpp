@@ -1,0 +1,19 @@
+// MCL inflation (Algorithm 1, line 5): Hadamard power of every entry
+// followed by column re-normalization. The power is local; the column
+// sums need a reduction along each grid column.
+#pragma once
+
+#include "dist/distmat.hpp"
+#include "sim/timeline.hpp"
+#include "util/types.hpp"
+
+namespace mclx::core {
+
+/// r-th Hadamard power then column normalization, in place.
+void distributed_inflate(dist::DistMat& m, double power, sim::SimState& sim);
+
+/// Column-stochastic normalization only (the MCL initializer); equivalent
+/// to distributed_inflate with power 1 but skips the pow() pass.
+void distributed_normalize(dist::DistMat& m, sim::SimState& sim);
+
+}  // namespace mclx::core

@@ -1,0 +1,51 @@
+#include "core/interpret.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mclx::core {
+
+std::vector<std::vector<vidx_t>> clusters_from_labels(
+    const std::vector<vidx_t>& labels) {
+  vidx_t max_label = -1;
+  for (const vidx_t l : labels) {
+    if (l < 0) throw std::invalid_argument("clusters_from_labels: negative");
+    max_label = std::max(max_label, l);
+  }
+  std::vector<std::vector<vidx_t>> clusters(
+      static_cast<std::size_t>(max_label + 1));
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    clusters[static_cast<std::size_t>(labels[v])].push_back(
+        static_cast<vidx_t>(v));
+  }
+  return clusters;
+}
+
+ClusterSummary summarize_clusters(const std::vector<vidx_t>& labels) {
+  std::unordered_map<vidx_t, vidx_t> sizes;
+  for (const vidx_t l : labels) ++sizes[l];
+  ClusterSummary s;
+  s.num_clusters = static_cast<vidx_t>(sizes.size());
+  for (const auto& [label, size] : sizes) {
+    s.largest = std::max(s.largest, size);
+    if (size == 1) ++s.singletons;
+  }
+  s.mean_size = sizes.empty() ? 0.0
+                              : static_cast<double>(labels.size()) /
+                                    static_cast<double>(sizes.size());
+  return s;
+}
+
+std::string describe_clusters(const std::vector<vidx_t>& labels) {
+  const ClusterSummary s = summarize_clusters(labels);
+  std::ostringstream oss;
+  oss << s.num_clusters << " clusters (largest " << s.largest << ", "
+      << s.singletons << " singletons, mean size ";
+  oss.precision(3);
+  oss << s.mean_size << ")";
+  return oss.str();
+}
+
+}  // namespace mclx::core

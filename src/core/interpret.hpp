@@ -1,0 +1,29 @@
+// Turning MCL output into user-facing clusterings: label arrays to
+// explicit clusters, size histograms, and a printable summary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mclx::core {
+
+/// Group vertices by label; clusters ordered by label id, members sorted.
+std::vector<std::vector<vidx_t>> clusters_from_labels(
+    const std::vector<vidx_t>& labels);
+
+struct ClusterSummary {
+  vidx_t num_clusters = 0;
+  vidx_t largest = 0;
+  vidx_t singletons = 0;
+  double mean_size = 0;
+};
+
+ClusterSummary summarize_clusters(const std::vector<vidx_t>& labels);
+
+/// Human-readable one-liner, e.g. "412 clusters (largest 96, 13
+/// singletons, mean size 7.3)".
+std::string describe_clusters(const std::vector<vidx_t>& labels);
+
+}  // namespace mclx::core

@@ -1,0 +1,26 @@
+#include "core/local.hpp"
+
+#include "sim/machine.hpp"
+#include "sim/timeline.hpp"
+
+namespace mclx::core {
+
+LocalClusterResult mcl_cluster(const dist::TriplesD& graph,
+                               const MclParams& params) {
+  // One rank, no GPUs: the kernel policy collapses to cpu-hash and every
+  // collective is free; only the numerics remain.
+  sim::SimState sim(sim::summit_like_cpu_only(1));
+  HipMclConfig config = HipMclConfig::optimized();
+  config.kernel =
+      spgemm::KernelPolicy::fixed_kernel(spgemm::KernelKind::kCpuHash);
+
+  MclResult full = run_hipmcl(graph, params, config, sim);
+  LocalClusterResult out;
+  out.labels = std::move(full.labels);
+  out.num_clusters = full.num_clusters;
+  out.iterations = full.iterations;
+  out.converged = full.converged;
+  return out;
+}
+
+}  // namespace mclx::core

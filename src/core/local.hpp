@@ -1,0 +1,25 @@
+// Convenience single-machine clustering API: MCL without touching the
+// simulator. For users who only want clusters, not performance studies —
+// internally a 1-rank run of the same HipMCL code path, so the clusters
+// are identical to every distributed configuration's.
+#pragma once
+
+#include "core/hipmcl.hpp"
+#include "dist/distmat.hpp"
+
+namespace mclx::core {
+
+struct LocalClusterResult {
+  std::vector<vidx_t> labels;
+  vidx_t num_clusters = 0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Cluster a weighted similarity network (square triples). Runs the full
+/// MCL pipeline (self loops, normalize, expand/prune/inflate to
+/// convergence, connected components) in this process.
+LocalClusterResult mcl_cluster(const dist::TriplesD& graph,
+                               const MclParams& params = {});
+
+}  // namespace mclx::core

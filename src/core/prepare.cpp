@@ -1,0 +1,99 @@
+#include "core/prepare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace mclx::core {
+
+namespace {
+
+val_t apply_transform(val_t w, ScoreTransform transform) {
+  switch (transform) {
+    case ScoreTransform::kNone: return w;
+    case ScoreTransform::kLog: return std::log1p(w);
+    case ScoreTransform::kSquare: return w * w;
+    case ScoreTransform::kBinary: return val_t(1);
+  }
+  throw std::invalid_argument("prepare: unknown transform");
+}
+
+}  // namespace
+
+sparse::Triples<vidx_t, val_t> prepare_network(
+    const sparse::Triples<vidx_t, val_t>& raw,
+    const PrepareOptions& options) {
+  if (raw.nrows() != raw.ncols())
+    throw std::invalid_argument("prepare_network: matrix must be square");
+
+  // Collect directed scores per unordered pair.
+  struct Pair {
+    val_t forward = 0, backward = 0;
+    bool has_forward = false, has_backward = false;
+  };
+  std::map<std::pair<vidx_t, vidx_t>, Pair> pairs;
+  sparse::Triples<vidx_t, val_t> out(raw.nrows(), raw.ncols());
+
+  for (const auto& e : raw) {
+    if (e.row == e.col) {
+      if (!options.drop_self_loops) out.push_unchecked(e.row, e.col, e.val);
+      continue;
+    }
+    if (options.symmetrize == SymmetrizeRule::kNone) {
+      out.push_unchecked(e.row, e.col, e.val);
+      continue;
+    }
+    const bool forward = e.row < e.col;
+    const auto key = forward ? std::make_pair(e.row, e.col)
+                             : std::make_pair(e.col, e.row);
+    Pair& p = pairs[key];
+    // Duplicates in one direction keep the stronger score.
+    if (forward) {
+      p.forward = p.has_forward ? std::max(p.forward, e.val) : e.val;
+      p.has_forward = true;
+    } else {
+      p.backward = p.has_backward ? std::max(p.backward, e.val) : e.val;
+      p.has_backward = true;
+    }
+  }
+
+  for (const auto& [key, p] : pairs) {
+    val_t w = 0;
+    switch (options.symmetrize) {
+      case SymmetrizeRule::kMax:
+        w = std::max(p.has_forward ? p.forward : val_t(0),
+                     p.has_backward ? p.backward : val_t(0));
+        break;
+      case SymmetrizeRule::kMin:
+        if (!p.has_forward || !p.has_backward) continue;  // one-sided: drop
+        w = std::min(p.forward, p.backward);
+        break;
+      case SymmetrizeRule::kAvg: {
+        const int sides = (p.has_forward ? 1 : 0) + (p.has_backward ? 1 : 0);
+        w = (p.forward + p.backward) / static_cast<val_t>(sides);
+        break;
+      }
+      case SymmetrizeRule::kNone:
+        break;  // unreachable: handled in the loop above
+    }
+    out.push_unchecked(key.first, key.second, w);
+    out.push_unchecked(key.second, key.first, w);
+  }
+
+  // Transform + floor.
+  auto& data = out.data();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const val_t w = apply_transform(data[i].val, options.transform);
+    if (w >= options.min_score && w > 0) {
+      data[keep] = {data[i].row, data[i].col, w};
+      ++keep;
+    }
+  }
+  data.resize(keep);
+  out.sort_and_combine();
+  return out;
+}
+
+}  // namespace mclx::core

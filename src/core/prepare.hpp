@@ -1,0 +1,39 @@
+// Input preparation — the preprocessing real HipMCL applies to raw
+// similarity data before the MCL loop: symmetrization (alignment scores
+// are often reported one-directionally and asymmetrically), self-loop
+// removal, and score transforms.
+#pragma once
+
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::core {
+
+enum class SymmetrizeRule {
+  kNone,  ///< trust the input as-is
+  kMax,   ///< w(u,v) = max of the two directed scores (HipMCL's default)
+  kMin,   ///< conservative: both directions must support the edge
+  kAvg,   ///< average the directions
+};
+
+enum class ScoreTransform {
+  kNone,
+  kLog,      ///< w -> log1p(w): compress heavy-tailed bit scores
+  kSquare,   ///< w -> w^2: sharpen strong similarities
+  kBinary,   ///< w -> 1: topology-only clustering
+};
+
+struct PrepareOptions {
+  SymmetrizeRule symmetrize = SymmetrizeRule::kMax;
+  ScoreTransform transform = ScoreTransform::kNone;
+  bool drop_self_loops = true;   ///< MCL adds its own loops later
+  val_t min_score = 0;           ///< drop edges below this (after transform)
+};
+
+/// Prepare a raw similarity network for clustering. Square input
+/// required; output is canonicalized (sorted, deduplicated, symmetric
+/// under the chosen rule).
+sparse::Triples<vidx_t, val_t> prepare_network(
+    const sparse::Triples<vidx_t, val_t>& raw, const PrepareOptions& options);
+
+}  // namespace mclx::core

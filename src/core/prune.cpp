@@ -1,0 +1,177 @@
+#include "core/prune.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "dist/topk.hpp"
+#include "sim/collectives.hpp"
+#include "sim/costmodel.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+
+namespace mclx::core {
+
+namespace {
+
+using sim::Stage;
+
+/// Cutoff pruning with MCL recovery over the pieces of one grid column
+/// (all pieces share the same local column range; piece i holds the i-th
+/// row block). Entries below the cutoff are discarded, then columns left
+/// with fewer than recover_num survivors get their largest discards back.
+/// Returns the total entries processed (for cost charging).
+std::uint64_t cutoff_with_recovery(std::vector<dist::CscD*>& pieces,
+                                   val_t cutoff, int recover_num) {
+  if (pieces.empty()) return 0;
+  const vidx_t ncols = pieces.front()->ncols();
+  std::uint64_t processed = 0;
+
+  // keep[i][p]: whether piece i's p-th entry survives.
+  std::vector<std::vector<char>> keep(pieces.size());
+  std::vector<vidx_t> survivors(static_cast<std::size_t>(ncols), 0);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const dist::CscD& piece = *pieces[i];
+    keep[i].assign(piece.nnz(), 0);
+    processed += piece.nnz();
+    for (vidx_t c = 0; c < ncols; ++c) {
+      for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
+        if (std::abs(piece.vals()[p]) >= cutoff) {
+          keep[i][static_cast<std::size_t>(p)] = 1;
+          ++survivors[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+
+  if (recover_num > 0) {
+    // Recover the largest discards of deficient columns.
+    struct Discard {
+      val_t magnitude;
+      std::size_t piece;
+      vidx_t pos;
+    };
+    std::vector<Discard> discards;
+    for (vidx_t c = 0; c < ncols; ++c) {
+      const vidx_t have = survivors[static_cast<std::size_t>(c)];
+      if (have >= recover_num) continue;
+      discards.clear();
+      for (std::size_t i = 0; i < pieces.size(); ++i) {
+        const dist::CscD& piece = *pieces[i];
+        for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
+          if (!keep[i][static_cast<std::size_t>(p)]) {
+            discards.push_back({std::abs(piece.vals()[p]), i, p});
+          }
+        }
+      }
+      const auto want = static_cast<std::size_t>(
+          std::min<vidx_t>(recover_num - have,
+                           static_cast<vidx_t>(discards.size())));
+      std::partial_sort(discards.begin(), discards.begin() + want,
+                        discards.end(), [](const auto& x, const auto& y) {
+                          if (x.magnitude != y.magnitude)
+                            return x.magnitude > y.magnitude;
+                          return std::tie(x.piece, x.pos) <
+                                 std::tie(y.piece, y.pos);
+                        });
+      for (std::size_t q = 0; q < want; ++q) {
+        keep[discards[q].piece][static_cast<std::size_t>(discards[q].pos)] = 1;
+      }
+    }
+  }
+
+  // Rebuild each piece.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const dist::CscD& piece = *pieces[i];
+    std::vector<vidx_t> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+    std::vector<vidx_t> rowids;
+    std::vector<val_t> vals;
+    for (vidx_t c = 0; c < ncols; ++c) {
+      for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
+        if (keep[i][static_cast<std::size_t>(p)]) {
+          rowids.push_back(piece.rowids()[p]);
+          vals.push_back(piece.vals()[p]);
+        }
+      }
+      colptr[static_cast<std::size_t>(c) + 1] =
+          static_cast<vidx_t>(rowids.size());
+    }
+    *pieces[i] = dist::CscD(piece.nrows(), ncols, std::move(colptr),
+                            std::move(rowids), std::move(vals));
+  }
+  return processed;
+}
+
+/// Charge one grid column's cutoff(+recovery) pass: the local sweep per
+/// rank, plus (when recovery is on) the survivor-count reduction.
+void charge_cutoff(sim::SimState& sim, const std::vector<int>& group,
+                   const std::vector<std::uint64_t>& rank_nnz,
+                   std::uint64_t ncols, bool recovery) {
+  const sim::CostModel model(sim.machine());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    sim.rank(group[i]).cpu_run(Stage::kPrune, model.prune(rank_nnz[i]));
+  }
+  if (recovery) {
+    sim::sim_allreduce(sim, group,
+                       static_cast<bytes_t>(ncols * sizeof(vidx_t)),
+                       Stage::kPrune);
+  }
+}
+
+/// Shared implementation over per-rank pieces arranged on a grid.
+void prune_pieces(std::vector<dist::CscD*>& by_rank, const dist::ProcGrid& grid,
+                  const PruneParams& params, sim::SimState& sim) {
+  const int dim = grid.dim();
+  for (int j = 0; j < dim; ++j) {
+    std::vector<dist::CscD*> pieces;
+    std::vector<std::uint64_t> rank_nnz;
+    std::uint64_t ncols = 0;
+    for (int i = 0; i < dim; ++i) {
+      dist::CscD* piece = by_rank[static_cast<std::size_t>(grid.rank_of(i, j))];
+      pieces.push_back(piece);
+      rank_nnz.push_back(piece->nnz());
+      ncols = static_cast<std::uint64_t>(piece->ncols());
+    }
+    cutoff_with_recovery(pieces, params.cutoff, params.recover_num);
+    charge_cutoff(sim, grid.col_ranks(j), rank_nnz, ncols,
+                  params.recover_num > 0);
+  }
+}
+
+}  // namespace
+
+void distributed_prune(dist::DistMat& m, const PruneParams& params,
+                       sim::SimState& sim) {
+  // Materialize pieces, run cutoff(+recovery) per grid column, then the
+  // top-k selection.
+  std::vector<dist::CscD> pieces(static_cast<std::size_t>(m.grid().nranks()));
+  std::vector<dist::CscD*> by_rank(pieces.size());
+  for (int i = 0; i < m.dim(); ++i) {
+    for (int j = 0; j < m.dim(); ++j) {
+      const int r = m.grid().rank_of(i, j);
+      pieces[static_cast<std::size_t>(r)] = sparse::csc_from_dcsc(m.block(i, j));
+      by_rank[static_cast<std::size_t>(r)] = &pieces[static_cast<std::size_t>(r)];
+    }
+  }
+  prune_pieces(by_rank, m.grid(), params, sim);
+
+  std::vector<dist::CscD> chunks;
+  chunks.reserve(pieces.size());
+  for (auto& p : pieces) chunks.push_back(std::move(p));
+  dist::topk_chunks(chunks, m.grid(), params.select_k, sim);
+  for (int i = 0; i < m.dim(); ++i) {
+    for (int j = 0; j < m.dim(); ++j) {
+      m.set_block(i, j,
+                  chunks[static_cast<std::size_t>(m.grid().rank_of(i, j))]);
+    }
+  }
+}
+
+void prune_chunks(std::vector<dist::CscD>& chunks, const dist::ProcGrid& grid,
+                  const PruneParams& params, sim::SimState& sim) {
+  std::vector<dist::CscD*> by_rank(chunks.size());
+  for (std::size_t r = 0; r < chunks.size(); ++r) by_rank[r] = &chunks[r];
+  prune_pieces(by_rank, grid, params, sim);
+  dist::topk_chunks(chunks, grid, params.select_k, sim);
+}
+
+}  // namespace mclx::core

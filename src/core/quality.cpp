@@ -1,0 +1,80 @@
+#include "core/quality.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mclx::core {
+
+double modularity(const sparse::Triples<vidx_t, val_t>& edges,
+                  const std::vector<vidx_t>& labels) {
+  if (edges.nrows() != edges.ncols())
+    throw std::invalid_argument("modularity: graph matrix must be square");
+  if (labels.size() != static_cast<std::size_t>(edges.nrows()))
+    throw std::invalid_argument("modularity: label count != vertex count");
+
+  // Symmetrize: accumulate each unordered pair once with its max-direction
+  // weight (tolerates inputs storing one or both triangles).
+  std::map<std::pair<vidx_t, vidx_t>, val_t> sym;
+  for (const auto& e : edges) {
+    if (e.row == e.col) continue;  // self-similarity adds no structure
+    const auto key = e.row < e.col ? std::make_pair(e.row, e.col)
+                                   : std::make_pair(e.col, e.row);
+    auto [it, inserted] = sym.emplace(key, e.val);
+    if (!inserted && e.val > it->second) it->second = e.val;
+  }
+
+  double total_weight = 0;  // 2m in the usual notation counts both ends
+  std::vector<double> degree(labels.size(), 0.0);
+  double intra = 0;
+  for (const auto& [pair, w] : sym) {
+    total_weight += 2.0 * w;
+    degree[static_cast<std::size_t>(pair.first)] += w;
+    degree[static_cast<std::size_t>(pair.second)] += w;
+    if (labels[static_cast<std::size_t>(pair.first)] ==
+        labels[static_cast<std::size_t>(pair.second)]) {
+      intra += 2.0 * w;
+    }
+  }
+  if (total_weight == 0) return 0.0;
+
+  // Sum over communities of (degree sum)^2.
+  std::unordered_map<vidx_t, double> community_degree;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    community_degree[labels[v]] += degree[v];
+  }
+  double expected = 0;
+  for (const auto& [label, d] : community_degree) {
+    expected += d * d;
+  }
+  return intra / total_weight -
+         expected / (total_weight * total_weight);
+}
+
+double adjusted_rand_index(const std::vector<vidx_t>& a,
+                           const std::vector<vidx_t>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("adjusted_rand_index: size mismatch");
+  const double n = static_cast<double>(a.size());
+  if (a.size() < 2) return 1.0;
+
+  std::map<std::pair<vidx_t, vidx_t>, double> cell;
+  std::unordered_map<vidx_t, double> row_sum, col_sum;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++cell[{a[i], b[i]}];
+    ++row_sum[a[i]];
+    ++col_sum[b[i]];
+  }
+  auto choose2 = [](double x) { return x * (x - 1) / 2; };
+  double index = 0, row_pairs = 0, col_pairs = 0;
+  for (const auto& [key, count] : cell) index += choose2(count);
+  for (const auto& [label, count] : row_sum) row_pairs += choose2(count);
+  for (const auto& [label, count] : col_sum) col_pairs += choose2(count);
+  const double total_pairs = choose2(n);
+  const double expected = row_pairs * col_pairs / total_pairs;
+  const double max_index = 0.5 * (row_pairs + col_pairs);
+  if (max_index == expected) return 1.0;  // both trivial partitions
+  return (index - expected) / (max_index - expected);
+}
+
+}  // namespace mclx::core

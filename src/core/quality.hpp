@@ -1,0 +1,26 @@
+// Clustering quality metrics beyond the pair-counting F1 in gen/:
+// weighted modularity (no ground truth needed — the metric MCL users
+// report on real protein networks) and the Adjusted Rand Index (chance-
+// corrected agreement with a reference partition).
+#pragma once
+
+#include <vector>
+
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::core {
+
+/// Newman–Girvan modularity of `labels` on the weighted undirected graph
+/// `edges` (each undirected edge may appear as one or both directed
+/// entries; both conventions are handled by symmetrizing internally).
+/// Returns a value in [-0.5, 1]; higher = stronger community structure.
+double modularity(const sparse::Triples<vidx_t, val_t>& edges,
+                  const std::vector<vidx_t>& labels);
+
+/// Adjusted Rand Index between two partitions of the same vertex set.
+/// 1 = identical, ~0 = chance agreement, negative = worse than chance.
+double adjusted_rand_index(const std::vector<vidx_t>& a,
+                           const std::vector<vidx_t>& b);
+
+}  // namespace mclx::core

@@ -1,0 +1,26 @@
+// Connected components of the converged MCL matrix — the final step of
+// the algorithm: components of the (undirected view of the) nonzero
+// pattern are the output clusters.
+#pragma once
+
+#include <vector>
+
+#include "dist/distmat.hpp"
+#include "sim/timeline.hpp"
+#include "util/types.hpp"
+
+namespace mclx::dist {
+
+struct ComponentsResult {
+  /// labels[v] in [0, num_components), contiguous, ordered by smallest
+  /// member vertex (deterministic).
+  std::vector<vidx_t> labels;
+  vidx_t num_components = 0;
+};
+
+/// Union-find over the gathered edge set; the gather and the find passes
+/// are charged to Stage::kOther (the paper folds clustering extraction
+/// into "Other").
+ComponentsResult connected_components(const DistMat& m, sim::SimState& sim);
+
+}  // namespace mclx::dist

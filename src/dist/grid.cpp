@@ -1,0 +1,44 @@
+#include "dist/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mclx::dist {
+
+ProcGrid::ProcGrid(int nranks) {
+  if (nranks <= 0) throw std::invalid_argument("ProcGrid: nranks <= 0");
+  dim_ = static_cast<int>(std::lround(std::sqrt(static_cast<double>(nranks))));
+  if (dim_ * dim_ != nranks) {
+    throw std::invalid_argument("ProcGrid: " + std::to_string(nranks) +
+                                " is not a perfect square");
+  }
+}
+
+int ProcGrid::rank_of(int i, int j) const {
+  if (i < 0 || i >= dim_ || j < 0 || j >= dim_)
+    throw std::out_of_range("ProcGrid::rank_of: coordinates out of range");
+  return i * dim_ + j;
+}
+
+std::pair<int, int> ProcGrid::coords(int rank) const {
+  if (rank < 0 || rank >= nranks())
+    throw std::out_of_range("ProcGrid::coords: rank out of range");
+  return {rank / dim_, rank % dim_};
+}
+
+std::vector<int> ProcGrid::row_ranks(int i) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(dim_));
+  for (int j = 0; j < dim_; ++j) out.push_back(rank_of(i, j));
+  return out;
+}
+
+std::vector<int> ProcGrid::col_ranks(int j) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(dim_));
+  for (int i = 0; i < dim_; ++i) out.push_back(rank_of(i, j));
+  return out;
+}
+
+}  // namespace mclx::dist

@@ -1,0 +1,31 @@
+// 2D process grid: HipMCL decomposes matrices into √P × √P blocks and
+// runs collectives along grid rows (A broadcasts) and grid columns
+// (B broadcasts, column-wise reductions for normalization/pruning).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace mclx::dist {
+
+class ProcGrid {
+ public:
+  /// `nranks` must be a perfect square (throws std::invalid_argument).
+  explicit ProcGrid(int nranks);
+
+  int dim() const { return dim_; }
+  int nranks() const { return dim_ * dim_; }
+
+  /// Row-major rank numbering.
+  int rank_of(int i, int j) const;
+  std::pair<int, int> coords(int rank) const;
+
+  /// Ranks of grid row i / grid column j (the collective groups).
+  std::vector<int> row_ranks(int i) const;
+  std::vector<int> col_ranks(int j) const;
+
+ private:
+  int dim_;
+};
+
+}  // namespace mclx::dist

@@ -1,0 +1,51 @@
+// 3D (communication-avoiding) Sparse SUMMA — the extension §VII-E and the
+// conclusions point to for shrinking GPU idle at large concurrencies
+// ("The GPU idle times can be reduced further ... via adapting 3D SpGEMM
+// algorithm [Azad et al.] in HipMCL").
+//
+// The P = d·d·c ranks form c layers of d×d grids. Operand blocks are
+// replicated across layers (the memory-for-communication trade the paper
+// discusses when explaining why HipMCL stayed 2D); the d SUMMA stages are
+// partitioned among layers, so each layer broadcasts only ~d/c operand
+// panels — cutting the per-rank broadcast volume by the layer count —
+// and computes a partial C. A final inter-layer reduction (communication
+// + k-way merge of the c partials) produces the complete product on the
+// d×d grid.
+//
+// Provided as an experimental algorithm for the ablation bench: it shares
+// the kernel registry, merger, and timeline machinery with the 2D path
+// and produces bit-identical products.
+#pragma once
+
+#include "dist/distmat.hpp"
+#include "dist/summa.hpp"
+#include "sim/timeline.hpp"
+#include "spgemm/registry.hpp"
+
+namespace mclx::dist {
+
+struct Summa3dOptions {
+  int layers = 2;  ///< c; must divide into sim ranks as a.grid ranks * c
+  spgemm::KernelPolicy kernel = spgemm::KernelPolicy::hybrid_policy();
+  double cf_estimate = -1;
+  /// Charge the up-front operand replication across layers (a fresh
+  /// multiply pays it; an iterative caller that keeps replicas current
+  /// may amortize it away).
+  bool charge_replication = true;
+};
+
+struct Summa3dResult {
+  DistMat c;          ///< on the layer grid (d×d)
+  SummaStats stats;   ///< same accounting as the 2D path
+  vtime_t replication_time = 0;  ///< portion of elapsed spent replicating
+  vtime_t reduction_time = 0;    ///< inter-layer reduce (comm + merge)
+};
+
+/// C = A·B with A and B distributed on a d×d grid and the simulator
+/// holding d·d·layers ranks. Throws std::invalid_argument on mismatched
+/// rank counts or layers < 1.
+Summa3dResult summa3d_multiply(const DistMat& a, const DistMat& b,
+                               sim::SimState& sim,
+                               const Summa3dOptions& opt);
+
+}  // namespace mclx::dist

@@ -1,0 +1,167 @@
+#include "dist/topk.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/collectives.hpp"
+#include "sim/costmodel.hpp"
+#include "sparse/convert.hpp"
+
+namespace mclx::dist {
+
+namespace {
+
+using sim::Stage;
+
+/// One candidate: value plus its owner (block index within the grid
+/// column) and block-local row — enough identity to filter blocks after
+/// the selection.
+struct Candidate {
+  val_t val;
+  int owner;
+  vidx_t local_row;
+};
+
+bool candidate_before(const Candidate& x, const Candidate& y) {
+  if (x.val != y.val) return x.val > y.val;  // larger value first
+  if (x.owner != y.owner) return x.owner < y.owner;
+  return x.local_row < y.local_row;
+}
+
+/// Exact top-k over a set of per-owner CSC pieces sharing a local column
+/// range. `pieces[i]` is owner i's matrix; selection is applied in place
+/// by rebuilding each piece.
+void select_topk_over_pieces(std::vector<CscD*>& pieces, int k) {
+  if (pieces.empty()) return;
+  const vidx_t ncols = pieces.front()->ncols();
+
+  // Per-owner keep masks over their nnz positions.
+  std::vector<std::vector<char>> keep(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i)
+    keep[i].assign(pieces[i]->nnz(), 0);
+
+  std::vector<Candidate> cands;
+  // Remember where each candidate came from so the mask can be set.
+  std::vector<std::size_t> positions;
+
+  for (vidx_t c = 0; c < ncols; ++c) {
+    cands.clear();
+    positions.clear();
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      const CscD& p = *pieces[i];
+      const auto rows = p.col_rows(c);
+      const auto vals = p.col_vals(c);
+      for (std::size_t q = 0; q < rows.size(); ++q) {
+        cands.push_back({vals[q], static_cast<int>(i), rows[q]});
+        positions.push_back(static_cast<std::size_t>(p.colptr()[c]) + q);
+      }
+    }
+    if (static_cast<int>(cands.size()) <= k) {
+      for (std::size_t q = 0; q < cands.size(); ++q) {
+        keep[static_cast<std::size_t>(cands[q].owner)][positions[q]] = 1;
+      }
+      continue;
+    }
+    // Partial selection: find the k best (deterministic tie-break).
+    std::vector<std::size_t> order(cands.size());
+    for (std::size_t q = 0; q < order.size(); ++q) order[q] = q;
+    std::nth_element(order.begin(), order.begin() + k, order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return candidate_before(cands[x], cands[y]);
+                     });
+    for (int q = 0; q < k; ++q) {
+      const std::size_t idx = order[static_cast<std::size_t>(q)];
+      keep[static_cast<std::size_t>(cands[idx].owner)][positions[idx]] = 1;
+    }
+  }
+
+  // Rebuild each piece with only the kept entries.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const CscD& p = *pieces[i];
+    std::vector<vidx_t> colptr(static_cast<std::size_t>(p.ncols()) + 1, 0);
+    std::vector<vidx_t> rowids;
+    std::vector<val_t> vals;
+    for (vidx_t c = 0; c < p.ncols(); ++c) {
+      for (vidx_t q = p.colptr()[c]; q < p.colptr()[c + 1]; ++q) {
+        if (keep[i][static_cast<std::size_t>(q)]) {
+          rowids.push_back(p.rowids()[q]);
+          vals.push_back(p.vals()[q]);
+        }
+      }
+      colptr[static_cast<std::size_t>(c) + 1] =
+          static_cast<vidx_t>(rowids.size());
+    }
+    *pieces[i] = CscD(p.nrows(), p.ncols(), std::move(colptr),
+                      std::move(rowids), std::move(vals));
+  }
+}
+
+/// Charge the three cost components of a grid-column selection.
+void charge_selection(sim::SimState& sim, const std::vector<int>& group,
+                      const std::vector<std::uint64_t>& rank_nnz,
+                      std::uint64_t ncols, int k) {
+  const sim::CostModel model(sim.machine());
+  std::uint64_t total_candidates = 0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const std::uint64_t local_cand =
+        std::min<std::uint64_t>(rank_nnz[i],
+                                ncols * static_cast<std::uint64_t>(k));
+    total_candidates += local_cand;
+    // Local top-k pass over the rank's entries.
+    sim.rank(group[i]).cpu_run(Stage::kPrune,
+                               model.topk_select(rank_nnz[i], ncols, k));
+  }
+  // Candidate exchange within the grid column.
+  const bytes_t per_rank_bytes =
+      total_candidates / std::max<std::uint64_t>(1, group.size()) *
+      (sizeof(vidx_t) + sizeof(val_t));
+  sim::sim_allgather(sim, group, per_rank_bytes, Stage::kPrune);
+  // Final selection over the combined candidates.
+  for (const int r : group) {
+    sim.rank(r).cpu_run(Stage::kPrune,
+                        model.topk_select(total_candidates, ncols, k));
+  }
+}
+
+}  // namespace
+
+void distributed_topk(DistMat& m, int k, sim::SimState& sim) {
+  const int dim = m.dim();
+  for (int j = 0; j < dim; ++j) {
+    std::vector<CscD> pieces;
+    pieces.reserve(static_cast<std::size_t>(dim));
+    std::vector<std::uint64_t> rank_nnz;
+    for (int i = 0; i < dim; ++i) {
+      pieces.push_back(sparse::csc_from_dcsc(m.block(i, j)));
+      rank_nnz.push_back(pieces.back().nnz());
+    }
+    std::vector<CscD*> ptrs;
+    for (auto& p : pieces) ptrs.push_back(&p);
+    select_topk_over_pieces(ptrs, k);
+    charge_selection(sim, m.grid().col_ranks(j), rank_nnz,
+                     static_cast<std::uint64_t>(m.block_cols(j)), k);
+    for (int i = 0; i < dim; ++i) {
+      m.set_block(i, j, pieces[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+void topk_chunks(std::vector<CscD>& chunks, const ProcGrid& grid, int k,
+                 sim::SimState& sim) {
+  const int dim = grid.dim();
+  for (int j = 0; j < dim; ++j) {
+    std::vector<CscD*> ptrs;
+    std::vector<std::uint64_t> rank_nnz;
+    std::uint64_t ncols = 0;
+    for (int i = 0; i < dim; ++i) {
+      CscD& chunk = chunks[static_cast<std::size_t>(grid.rank_of(i, j))];
+      ptrs.push_back(&chunk);
+      rank_nnz.push_back(chunk.nnz());
+      ncols = static_cast<std::uint64_t>(chunk.ncols());
+    }
+    select_topk_over_pieces(ptrs, k);
+    charge_selection(sim, grid.col_ranks(j), rank_nnz, ncols, k);
+  }
+}
+
+}  // namespace mclx::dist

@@ -1,0 +1,29 @@
+// Distributed top-k column selection (HipMCL's "select" pruning step).
+//
+// Each global column must keep only its k largest entries, but the column
+// is scattered across the √P ranks of one grid column. HipMCL selects
+// top-k locally per rank, exchanges the candidates within the grid
+// column, and finishes the selection on the combined candidate set —
+// exact, because the global top-k is a subset of the union of local
+// top-k sets.
+#pragma once
+
+#include <vector>
+
+#include "dist/distmat.hpp"
+#include "sim/timeline.hpp"
+
+namespace mclx::dist {
+
+/// Keep the k largest entries (by value, ties broken by smaller row id)
+/// of every global column of `m`. Charges local selection, the candidate
+/// allgather, and the final selection to the simulator.
+void distributed_topk(DistMat& m, int k, sim::SimState& sim);
+
+/// The same selection applied to the per-rank column chunks produced by
+/// one SUMMA phase (the fused expand+prune path). `chunks` is indexed by
+/// rank; all ranks in a grid column hold the same local column range.
+void topk_chunks(std::vector<CscD>& chunks, const ProcGrid& grid, int k,
+                 sim::SimState& sim);
+
+}  // namespace mclx::dist

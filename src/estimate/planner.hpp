@@ -1,0 +1,34 @@
+// Phase planning: HipMCL's fused expand+prune executes the expansion in h
+// column batches when the *unpruned* product would not fit in aggregate
+// memory. The planner turns an nnz(C) estimate (exact symbolic or Cohen)
+// into a phase count and batch width, with the guard band §V prescribes
+// for compensating estimator error ("providing a smaller value to HipMCL
+// than each process' actual available memory").
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace mclx::estimate {
+
+struct PhasePlanInput {
+  double est_output_nnz = 0;      ///< estimated nnz of the unpruned product
+  vidx_t ncols_global = 0;        ///< columns of B (= of C)
+  int grid_dim = 1;               ///< √P
+  bytes_t mem_budget_per_rank = 0;///< memory available for the product
+  double guard_factor = 0.85;     ///< fraction of the budget we dare use
+  std::size_t bytes_per_nnz = 16; ///< index + value footprint
+};
+
+struct PhasePlan {
+  int phases = 1;          ///< h
+  vidx_t batch_cols = 0;   ///< global columns expanded per phase
+  bytes_t est_bytes_per_rank_per_phase = 0;
+};
+
+/// Throws std::invalid_argument on degenerate inputs (no memory, no
+/// columns). Result always has phases >= 1 and batch_cols >= 1.
+PhasePlan plan_phases(const PhasePlanInput& in);
+
+}  // namespace mclx::estimate

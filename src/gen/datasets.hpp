@@ -1,0 +1,32 @@
+// Named dataset recipes: deterministic scaled-down analogs of the paper's
+// six networks (Table I). Sizes are chosen so every bench finishes on a
+// single core while preserving the originals' relative ordering of size
+// and density (isom100-* denser ⇒ larger cf than metaclust50, as §VII-E
+// uses to explain GPU utilization differences).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/planted.hpp"
+#include "util/types.hpp"
+
+namespace mclx::gen {
+
+struct Dataset {
+  std::string name;               ///< e.g. "archaea-mini"
+  PlantedGraph graph;             ///< edges + ground-truth labels
+  std::string paper_analog;       ///< which Table I network it scales down
+};
+
+/// Recipes: "archaea-mini", "eukarya-mini", "isom-mini", "metaclust-mini",
+/// plus "tiny" (unit-test scale). Optional size_scale multiplies vertex
+/// counts (1.0 = default bench scale; tests use < 1).
+Dataset make_dataset(const std::string& name, double size_scale = 1.0,
+                     std::uint64_t seed = 42);
+
+/// All bench-scale dataset names in Table-I order.
+std::vector<std::string> medium_dataset_names();  // archaea/eukarya/isom
+std::vector<std::string> all_dataset_names();
+
+}  // namespace mclx::gen

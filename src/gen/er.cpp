@@ -1,0 +1,33 @@
+#include "gen/er.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mclx::gen {
+
+sparse::Triples<vidx_t, val_t> erdos_renyi(const ErParams& params) {
+  if (params.n <= 0) throw std::invalid_argument("erdos_renyi: n <= 0");
+  if (params.avg_degree < 0)
+    throw std::invalid_argument("erdos_renyi: negative degree");
+
+  util::Xoshiro256 rng(params.seed);
+  const auto n = static_cast<std::uint64_t>(params.n);
+  const auto edges =
+      static_cast<std::uint64_t>(params.avg_degree * static_cast<double>(n));
+
+  sparse::Triples<vidx_t, val_t> t(params.n, params.n);
+  t.reserve(params.symmetric ? 2 * edges : edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<vidx_t>(rng.bounded(n));
+    const auto v = static_cast<vidx_t>(rng.bounded(n));
+    if (u == v) continue;
+    const val_t w = params.weighted ? rng.uniform_pos() : 1.0;
+    t.push_unchecked(u, v, w);
+    if (params.symmetric) t.push_unchecked(v, u, w);
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+}  // namespace mclx::gen

@@ -1,0 +1,25 @@
+// Erdős–Rényi G(n, m)-style generator: unstructured baseline workloads
+// for kernel microbenchmarks and property tests (it produces the low-cf
+// regime: random sparsity compresses poorly under SpGEMM).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::gen {
+
+struct ErParams {
+  vidx_t n = 1000;          ///< vertices
+  double avg_degree = 8.0;  ///< expected out-degree (directed edges drawn)
+  bool symmetric = true;    ///< add both (u,v) and (v,u)
+  bool weighted = true;     ///< weights uniform in (0,1]; else 1.0
+  std::uint64_t seed = 1;
+};
+
+/// Generates ~n*avg_degree directed edges by uniform endpoint sampling
+/// (self-loops skipped, duplicates summed on canonicalization).
+sparse::Triples<vidx_t, val_t> erdos_renyi(const ErParams& params);
+
+}  // namespace mclx::gen

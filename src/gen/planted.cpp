@@ -1,0 +1,193 @@
+#include "gen/planted.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sparse/permute.hpp"
+#include "util/rng.hpp"
+
+namespace mclx::gen {
+
+namespace {
+
+/// Truncated discrete power law P(s) ∝ s^-α over [1, max_family] whose
+/// exponent α is *fitted* (bisection) so the distribution's mean matches
+/// `mean_family`. This keeps both properties protein-family statistics
+/// show: a mode at singletons with a heavy tail of large families, and a
+/// controllable mean so the dataset recipes stay comparable. The caller's
+/// alpha parameter seeds the search and bounds it above.
+class FamilySizeSampler {
+ public:
+  FamilySizeSampler(double alpha_hint, vidx_t max_family, double mean_family) {
+    max_ = max_family;
+    const double reachable_lo = mean_for(1.0001);
+    const double reachable_hi = mean_for(8.0);
+    const double target =
+        std::clamp(mean_family, reachable_hi, reachable_lo);
+    // mean_for is strictly decreasing in alpha on [1, 8].
+    double lo = 1.0001, hi = std::max(alpha_hint, 8.0);
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (mean_for(mid) > target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    build_cdf(0.5 * (lo + hi));
+  }
+
+  vidx_t sample(util::Xoshiro256& rng) const {
+    const double u = rng.uniform() * total_;
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<vidx_t>(it - cdf_.begin()) + 1;
+  }
+
+ private:
+  double mean_for(double alpha) const {
+    double norm = 0, first_moment = 0;
+    for (vidx_t s = 1; s <= max_; ++s) {
+      const double w = std::pow(static_cast<double>(s), -alpha);
+      norm += w;
+      first_moment += w * static_cast<double>(s);
+    }
+    return first_moment / norm;
+  }
+
+  void build_cdf(double alpha) {
+    cdf_.clear();
+    cdf_.reserve(static_cast<std::size_t>(max_));
+    double total = 0;
+    for (vidx_t s = 1; s <= max_; ++s) {
+      total += std::pow(static_cast<double>(s), -alpha);
+      cdf_.push_back(total);
+    }
+    total_ = total;
+  }
+
+  std::vector<double> cdf_;
+  double total_ = 0;
+  vidx_t max_ = 1;
+};
+
+}  // namespace
+
+PlantedGraph planted_partition(const PlantedParams& params) {
+  if (params.n <= 0) throw std::invalid_argument("planted: n <= 0");
+  if (params.p_in < 0 || params.p_in > 1)
+    throw std::invalid_argument("planted: p_in out of [0,1]");
+  if (params.power_law_alpha <= 1.0)
+    throw std::invalid_argument("planted: alpha must exceed 1");
+
+  util::Xoshiro256 rng(params.seed);
+  FamilySizeSampler sampler(params.power_law_alpha, params.max_family,
+                            params.mean_family);
+
+  PlantedGraph g;
+  g.labels.resize(static_cast<std::size_t>(params.n));
+
+  // Carve the vertex range into consecutive families.
+  std::vector<std::pair<vidx_t, vidx_t>> families;  // [begin, end)
+  vidx_t next = 0;
+  while (next < params.n) {
+    const vidx_t size = std::min<vidx_t>(sampler.sample(rng), params.n - next);
+    families.emplace_back(next, next + size);
+    for (vidx_t v = next; v < next + size; ++v)
+      g.labels[static_cast<std::size_t>(v)] =
+          static_cast<vidx_t>(families.size() - 1);
+    next += size;
+  }
+  g.num_families = static_cast<vidx_t>(families.size());
+
+  auto weight_in = [&] {
+    return params.w_in_lo + (params.w_in_hi - params.w_in_lo) * rng.uniform();
+  };
+  auto weight_out = [&] {
+    return params.w_out_lo +
+           (params.w_out_hi - params.w_out_lo) * rng.uniform();
+  };
+
+  sparse::Triples<vidx_t, val_t> edges(params.n, params.n);
+
+  // Intra-family edges: each unordered pair kept with probability p_in.
+  // Families are small (<= max_family), so the O(size^2) pair scan is fine.
+  for (const auto& [begin, end] : families) {
+    for (vidx_t u = begin; u < end; ++u) {
+      for (vidx_t v = u + 1; v < end; ++v) {
+        if (rng.uniform() < params.p_in) {
+          const val_t w = weight_in();
+          edges.push_unchecked(u, v, w);
+          edges.push_unchecked(v, u, w);
+        }
+      }
+    }
+  }
+
+  // Cross-family noise: expected out_degree endpoints per vertex.
+  const auto noise_edges = static_cast<std::uint64_t>(
+      params.out_degree * static_cast<double>(params.n) / 2.0);
+  for (std::uint64_t e = 0; e < noise_edges; ++e) {
+    const auto u =
+        static_cast<vidx_t>(rng.bounded(static_cast<std::uint64_t>(params.n)));
+    const auto v =
+        static_cast<vidx_t>(rng.bounded(static_cast<std::uint64_t>(params.n)));
+    if (u == v || g.labels[static_cast<std::size_t>(u)] ==
+                      g.labels[static_cast<std::size_t>(v)]) {
+      continue;  // want cross-family noise only
+    }
+    const val_t w = weight_out();
+    edges.push_unchecked(u, v, w);
+    edges.push_unchecked(v, u, w);
+  }
+
+  if (params.permute_vertices) {
+    const auto perm = sparse::random_permutation<vidx_t>(params.n, rng);
+    sparse::permute_symmetric(edges, perm);
+    g.labels = sparse::permute_labels(g.labels, perm);
+  }
+
+  edges.sort_and_combine();
+  g.edges = std::move(edges);
+  return g;
+}
+
+ClusterQuality score_clustering(const std::vector<vidx_t>& clusters,
+                                const std::vector<vidx_t>& truth) {
+  if (clusters.size() != truth.size())
+    throw std::invalid_argument("score_clustering: size mismatch");
+
+  // Pair counting via a contingency table: for label pair (c, t) count
+  // co-occurrences; pairs-in-common = sum over cells of C(n_ct, 2), etc.
+  std::map<std::pair<vidx_t, vidx_t>, std::uint64_t> cell;
+  std::unordered_map<vidx_t, std::uint64_t> cluster_sizes, truth_sizes;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    ++cell[{clusters[i], truth[i]}];
+    ++cluster_sizes[clusters[i]];
+    ++truth_sizes[truth[i]];
+  }
+  auto choose2 = [](std::uint64_t x) { return x * (x - 1) / 2; };
+
+  std::uint64_t both = 0;  // pairs together in cluster AND in truth
+  for (const auto& [key, count] : cell) both += choose2(count);
+  std::uint64_t in_cluster = 0;
+  for (const auto& [label, count] : cluster_sizes) in_cluster += choose2(count);
+  std::uint64_t in_truth = 0;
+  for (const auto& [label, count] : truth_sizes) in_truth += choose2(count);
+
+  ClusterQuality q;
+  q.precision = in_cluster == 0
+                    ? 1.0
+                    : static_cast<double>(both) / static_cast<double>(in_cluster);
+  q.recall = in_truth == 0
+                 ? 1.0
+                 : static_cast<double>(both) / static_cast<double>(in_truth);
+  q.f1 = (q.precision + q.recall) == 0
+             ? 0.0
+             : 2.0 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+}  // namespace mclx::gen

@@ -1,0 +1,56 @@
+// Planted protein-family network generator.
+//
+// The paper clusters protein sequence-similarity networks (IMG isolate
+// genomes, Metaclust). Those graphs are a union of dense "family"
+// communities (homologous proteins, pairwise similarity high) plus sparse
+// cross-family noise (chance alignments, shared domains). We mimic that
+// structure with a planted-partition model whose family sizes follow a
+// truncated power law — protein family sizes are famously heavy-tailed —
+// giving MCL ground-truth communities that tests can score against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::gen {
+
+struct PlantedParams {
+  vidx_t n = 2000;              ///< vertices (proteins)
+  double mean_family = 20.0;    ///< mean planted family size
+  double power_law_alpha = 2.0; ///< family-size tail exponent (>1)
+  vidx_t max_family = 200;      ///< truncation for family sizes
+  double p_in = 0.5;            ///< intra-family edge probability
+  double out_degree = 2.0;      ///< expected cross-family noise edges/vertex
+  double w_in_lo = 0.6, w_in_hi = 1.0;   ///< intra-family similarity weights
+  double w_out_lo = 0.05, w_out_hi = 0.3; ///< noise weights
+  /// Randomly permute vertex ids so families are scattered across the 2D
+  /// block distribution. HipMCL applies the same trick to its inputs;
+  /// without it the diagonal blocks concentrate nearly all the flops.
+  bool permute_vertices = true;
+  std::uint64_t seed = 1;
+};
+
+struct PlantedGraph {
+  sparse::Triples<vidx_t, val_t> edges;  ///< symmetric weighted adjacency
+  std::vector<vidx_t> labels;            ///< ground-truth family per vertex
+  vidx_t num_families = 0;
+};
+
+PlantedGraph planted_partition(const PlantedParams& params);
+
+/// Clustering quality vs ground truth.
+struct ClusterQuality {
+  double precision = 0;  ///< fraction of intra-cluster pairs sharing a label
+  double recall = 0;     ///< fraction of intra-label pairs sharing a cluster
+  double f1 = 0;
+};
+
+/// Pair-counting precision/recall/F1 of `clusters` against `truth`.
+/// Both are label arrays of equal length.
+ClusterQuality score_clustering(const std::vector<vidx_t>& clusters,
+                                const std::vector<vidx_t>& truth);
+
+}  // namespace mclx::gen

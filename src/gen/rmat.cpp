@@ -1,0 +1,49 @@
+#include "gen/rmat.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mclx::gen {
+
+sparse::Triples<vidx_t, val_t> rmat(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 30)
+    throw std::invalid_argument("rmat: scale out of [1,30]");
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0)
+    throw std::invalid_argument("rmat: invalid quadrant probabilities");
+
+  const vidx_t n = vidx_t{1} << params.scale;
+  const auto edges = static_cast<std::uint64_t>(
+      params.edge_factor * static_cast<double>(n));
+  util::Xoshiro256 rng(params.seed);
+
+  sparse::Triples<vidx_t, val_t> t(n, n);
+  t.reserve(params.symmetric ? 2 * edges : edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    vidx_t row = 0, col = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const double p = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (p < params.a) {
+        // top-left: nothing to add
+      } else if (p < params.a + params.b) {
+        col |= 1;
+      } else if (p < params.a + params.b + params.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row == col) continue;
+    const val_t w = params.weighted ? rng.uniform_pos() : 1.0;
+    t.push_unchecked(row, col, w);
+    if (params.symmetric) t.push_unchecked(col, row, w);
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+}  // namespace mclx::gen

@@ -1,0 +1,24 @@
+// R-MAT (recursive matrix) generator: scale-free graphs with heavy-tailed
+// degrees. Exercises the load-imbalance paths (skewed per-column flops)
+// the paper's kernels must tolerate.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::gen {
+
+struct RmatParams {
+  int scale = 10;           ///< n = 2^scale vertices
+  double edge_factor = 8.0; ///< m = edge_factor * n directed edges
+  double a = 0.57, b = 0.19, c = 0.19;  ///< quadrant probabilities (d = 1-a-b-c)
+  bool symmetric = true;
+  bool weighted = true;
+  std::uint64_t seed = 1;
+};
+
+sparse::Triples<vidx_t, val_t> rmat(const RmatParams& params);
+
+}  // namespace mclx::gen

@@ -1,0 +1,93 @@
+// Simulated GPU device: memory capacity accounting and transfer costing.
+//
+// The paper's design leans on two device properties we must model
+// faithfully: (1) device memory is small (16 GB on V100) — the pipelined
+// SUMMA keeps only one stage's operands + product resident, with the CPU
+// owning intermediate storage (§III); (2) host↔device transfers are the
+// part of the pipeline the CPU must wait for. Numeric kernels run for
+// real on the host; this class tracks virtual bytes and raises GpuOom
+// when a requested working set exceeds capacity, which triggers the
+// CPU fallback path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/costmodel.hpp"
+#include "util/types.hpp"
+
+namespace mclx::gpuk {
+
+class GpuOom : public std::runtime_error {
+ public:
+  GpuOom(bytes_t requested, bytes_t available)
+      : std::runtime_error("gpu out of memory: requested " +
+                           std::to_string(requested) + " bytes, " +
+                           std::to_string(available) + " available"),
+        requested_(requested), available_(available) {}
+  bytes_t requested() const { return requested_; }
+  bytes_t available() const { return available_; }
+
+ private:
+  bytes_t requested_;
+  bytes_t available_;
+};
+
+class GpuDevice {
+ public:
+  explicit GpuDevice(bytes_t capacity) : capacity_(capacity) {}
+
+  bytes_t capacity() const { return capacity_; }
+  bytes_t used() const { return used_; }
+  bytes_t available() const { return capacity_ - used_; }
+
+  /// Reserve `bytes`; throws GpuOom when it does not fit.
+  void alloc(bytes_t bytes) {
+    if (bytes > available()) throw GpuOom(bytes, available());
+    used_ += bytes;
+  }
+
+  void free(bytes_t bytes) { used_ -= bytes < used_ ? bytes : used_; }
+
+  /// RAII reservation covering one kernel's working set.
+  class Reservation {
+   public:
+    Reservation(GpuDevice& dev, bytes_t bytes) : dev_(&dev), bytes_(bytes) {
+      dev_->alloc(bytes_);
+    }
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+    Reservation(Reservation&& other) noexcept
+        : dev_(other.dev_), bytes_(other.bytes_) {
+      other.dev_ = nullptr;
+    }
+    Reservation& operator=(Reservation&&) = delete;
+    ~Reservation() {
+      if (dev_) dev_->free(bytes_);
+    }
+    bytes_t bytes() const { return bytes_; }
+
+   private:
+    GpuDevice* dev_;
+    bytes_t bytes_;
+  };
+
+ private:
+  bytes_t capacity_;
+  bytes_t used_ = 0;
+};
+
+/// Virtual-time components of one device-side SpGEMM, for the pipelined
+/// timeline: the host blocks on `h2d` only; `kernel` overlaps host work;
+/// the product becomes host-visible `d2h` after kernel completion.
+struct DeviceCost {
+  vtime_t h2d = 0;
+  vtime_t kernel = 0;
+  vtime_t d2h = 0;
+  bytes_t bytes_in = 0;
+  bytes_t bytes_out = 0;
+
+  vtime_t total() const { return h2d + kernel + d2h; }
+};
+
+}  // namespace mclx::gpuk

@@ -1,0 +1,91 @@
+#include "gpuk/gpu_kernels.hpp"
+
+#include <stdexcept>
+
+#include "gpuk/esc.hpp"
+#include "gpuk/rmerge.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/hash.hpp"
+
+namespace mclx::gpuk {
+
+namespace {
+
+double mean_merge_width(const CscD& b) {
+  if (b.ncols() == 0) return 0;
+  return static_cast<double>(b.nnz()) / static_cast<double>(b.ncols());
+}
+
+}  // namespace
+
+bytes_t gpu_working_set_bytes(spgemm::KernelKind kind, const CscD& a,
+                              const CscD& b, std::uint64_t flops,
+                              std::uint64_t out_nnz_estimate) {
+  const bytes_t entry = sizeof(vidx_t) + sizeof(val_t);
+  const bytes_t operands = a.bytes() + b.bytes();
+  const bytes_t output = out_nnz_estimate * entry;
+  bytes_t workspace = 0;
+  switch (kind) {
+    case spgemm::KernelKind::kGpuBhsparse:
+      // ESC materializes every intermediate product before compression.
+      workspace = flops * entry;
+      break;
+    case spgemm::KernelKind::kGpuNsparse:
+      // Hash tables sized ~2x the output row counts.
+      workspace = 2 * output;
+      break;
+    case spgemm::KernelKind::kGpuRmerge2:
+      // Two merge buffers of at most the output size per round.
+      workspace = 2 * output;
+      break;
+    default:
+      throw std::invalid_argument("gpu_working_set_bytes: not a GPU kernel");
+  }
+  return operands + output + workspace;
+}
+
+GpuRunResult run_gpu_spgemm(spgemm::KernelKind kind, const CscD& a,
+                            const CscD& b, GpuDevice& device,
+                            const sim::CostModel& model) {
+  if (!spgemm::is_gpu_kernel(kind))
+    throw std::invalid_argument("run_gpu_spgemm: not a GPU kernel");
+
+  const std::uint64_t flops = sparse::spgemm_flops(a, b);
+
+  // Conservative pre-check with nnz(C) <= flops, then the exact working
+  // set once the product is known. A real implementation would use the
+  // symbolic pass or the probabilistic estimate here; the conservative
+  // bound keeps the failure path (GpuOom -> CPU fallback) exercised.
+  const bytes_t conservative = gpu_working_set_bytes(
+      kind, a, b, flops, std::min<std::uint64_t>(flops,
+          static_cast<std::uint64_t>(a.nrows()) *
+              static_cast<std::uint64_t>(b.ncols())));
+  GpuDevice::Reservation reservation(device, conservative);
+
+  GpuRunResult result;
+  switch (kind) {
+    case spgemm::KernelKind::kGpuBhsparse:
+      result.c = esc_spgemm(a, b);
+      break;
+    case spgemm::KernelKind::kGpuNsparse:
+      result.c = spgemm::hash_spgemm(a, b);
+      break;
+    case spgemm::KernelKind::kGpuRmerge2:
+      result.c = rmerge_spgemm(a, b);
+      break;
+    default:
+      throw std::invalid_argument("run_gpu_spgemm: unreachable");
+  }
+
+  result.flops = flops;
+  result.cf = sparse::compression_factor(flops, result.c.nnz());
+  result.cost.bytes_in = a.bytes() + b.bytes();
+  result.cost.bytes_out = result.c.bytes();
+  result.cost.h2d = model.h2d(result.cost.bytes_in);
+  result.cost.kernel =
+      model.local_spgemm(kind, flops, result.cf, mean_merge_width(b));
+  result.cost.d2h = model.d2h(result.cost.bytes_out);
+  return result;
+}
+
+}  // namespace mclx::gpuk

@@ -1,0 +1,37 @@
+// Dispatcher for device-side SpGEMM: runs the requested library's
+// algorithm for real (host-side execution of the device algorithm),
+// charges device memory against the GpuDevice, and reports the virtual
+// transfer/kernel cost components the pipelined SUMMA schedules with.
+#pragma once
+
+#include "gpuk/device.hpp"
+#include "sim/costmodel.hpp"
+#include "sparse/csc.hpp"
+#include "spgemm/kernels.hpp"
+#include "util/types.hpp"
+
+namespace mclx::gpuk {
+
+using CscD = sparse::Csc<vidx_t, val_t>;
+
+struct GpuRunResult {
+  CscD c;
+  DeviceCost cost;
+  double cf = 0;               ///< compression factor of this multiply
+  std::uint64_t flops = 0;
+};
+
+/// Execute C = A*B with the chosen GPU library on `device`.
+/// Throws GpuOom when operands + output + workspace exceed device memory
+/// (callers fall back to CPU or split the work).
+GpuRunResult run_gpu_spgemm(spgemm::KernelKind kind, const CscD& a,
+                            const CscD& b, GpuDevice& device,
+                            const sim::CostModel& model);
+
+/// Device-memory working set of a multiply (operands, output estimate,
+/// per-library workspace). Used for OOM pre-checks.
+bytes_t gpu_working_set_bytes(spgemm::KernelKind kind, const CscD& a,
+                              const CscD& b, std::uint64_t flops,
+                              std::uint64_t out_nnz_estimate);
+
+}  // namespace mclx::gpuk

@@ -1,0 +1,53 @@
+#include "gpuk/multigpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+
+namespace mclx::gpuk {
+
+MultiGpuResult multi_gpu_spgemm(spgemm::KernelKind kind, const CscD& a,
+                                const CscD& b,
+                                std::vector<GpuDevice>& devices,
+                                const sim::CostModel& model) {
+  if (devices.empty())
+    throw std::invalid_argument("multi_gpu_spgemm: no devices");
+  const auto g = static_cast<vidx_t>(devices.size());
+
+  MultiGpuResult out;
+  std::vector<CscD> pieces;
+  pieces.reserve(static_cast<std::size_t>(g));
+
+  // Even column split (the paper divides "columns of B evenly among GPUs").
+  const vidx_t per = (b.ncols() + g - 1) / g;
+  for (vidx_t d = 0; d < g; ++d) {
+    const vidx_t j0 = std::min(d * per, b.ncols());
+    const vidx_t j1 = std::min(j0 + per, b.ncols());
+    if (j0 == j1) continue;
+    const CscD b_slice = sparse::csc_col_slice(b, j0, j1);
+    GpuRunResult r = run_gpu_spgemm(kind, a, b_slice,
+                                    devices[static_cast<std::size_t>(d)],
+                                    model);
+    out.flops += r.flops;
+    out.cost.h2d = std::max(out.cost.h2d, r.cost.h2d);
+    out.cost.kernel = std::max(out.cost.kernel, r.cost.kernel);
+    out.cost.d2h = std::max(out.cost.d2h, r.cost.d2h);
+    out.cost.bytes_in = std::max(out.cost.bytes_in, r.cost.bytes_in);
+    out.cost.bytes_out = std::max(out.cost.bytes_out, r.cost.bytes_out);
+    pieces.push_back(std::move(r.c));
+    ++out.devices_used;
+  }
+
+  out.c = pieces.empty() ? CscD(a.nrows(), b.ncols())
+                         : sparse::csc_hcat(pieces);
+  if (pieces.empty()) {
+    out.cf = 1.0;
+  } else {
+    out.cf = sparse::compression_factor(out.flops, out.c.nnz());
+  }
+  return out;
+}
+
+}  // namespace mclx::gpuk

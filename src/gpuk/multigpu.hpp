@@ -1,0 +1,33 @@
+// Multi-GPU SpGEMM on one node, per §III-A: A is replicated to every
+// device, B's columns are split evenly, each device computes its slice of
+// C, and the final product is a trivial column concatenation.
+//
+// Transfers ride each GPU's own NVLink (parallel), so the aggregate cost
+// components are per-device maxima, not sums.
+#pragma once
+
+#include <vector>
+
+#include "gpuk/device.hpp"
+#include "gpuk/gpu_kernels.hpp"
+#include "sim/costmodel.hpp"
+#include "spgemm/kernels.hpp"
+
+namespace mclx::gpuk {
+
+struct MultiGpuResult {
+  CscD c;
+  DeviceCost cost;              ///< per-component maxima across devices
+  double cf = 0;                ///< of the whole multiply
+  std::uint64_t flops = 0;
+  int devices_used = 0;
+};
+
+/// Run C = A*B across `devices` (all must share the capacity of the
+/// machine's GPUs). Throws GpuOom if any slice fails its memory check.
+MultiGpuResult multi_gpu_spgemm(spgemm::KernelKind kind, const CscD& a,
+                                const CscD& b,
+                                std::vector<GpuDevice>& devices,
+                                const sim::CostModel& model);
+
+}  // namespace mclx::gpuk

@@ -1,0 +1,96 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mclx::io {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("matrix market: " + what);
+}
+
+}  // namespace
+
+MmTriples read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty input");
+
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (lower(tag) != "%%matrixmarket") fail("missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail("unsupported object: " + object);
+  if (lower(format) != "coordinate") fail("unsupported format: " + format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer")
+    fail("unsupported field: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general")
+    fail("unsupported symmetry: " + symmetry);
+
+  // Skip comments and blank lines up to the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  vidx_t nrows = 0, ncols = 0;
+  std::uint64_t entries = 0;
+  if (!(size_line >> nrows >> ncols >> entries)) fail("bad size line");
+  if (nrows < 0 || ncols < 0) fail("negative dimensions");
+
+  MmTriples m(nrows, ncols);
+  m.reserve(symmetric ? 2 * entries : entries);
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    if (!std::getline(in, line)) fail("unexpected end of entries");
+    std::istringstream entry(line);
+    vidx_t r = 0, c = 0;
+    val_t v = 1.0;
+    if (!(entry >> r >> c)) fail("bad entry line: " + line);
+    if (!pattern && !(entry >> v)) fail("missing value: " + line);
+    if (r < 1 || r > nrows || c < 1 || c > ncols)
+      fail("entry out of bounds: " + line);
+    m.push_unchecked(r - 1, c - 1, v);
+    if (symmetric && r != c) m.push_unchecked(c - 1, r - 1, v);
+  }
+  m.sort_and_combine();
+  return m;
+}
+
+MmTriples read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const MmTriples& m,
+                         const std::string& comment) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  if (!comment.empty()) out << "% " << comment << '\n';
+  out << m.nrows() << ' ' << m.ncols() << ' ' << m.nnz() << '\n';
+  out.precision(17);
+  for (const auto& t : m) {
+    out << t.row + 1 << ' ' << t.col + 1 << ' ' << t.val << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const MmTriples& m,
+                              const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open for write: " + path);
+  write_matrix_market(out, m, comment);
+}
+
+}  // namespace mclx::io

@@ -1,0 +1,31 @@
+// Matrix Market (coordinate, real/integer/pattern, general/symmetric) IO.
+//
+// HipMCL's input networks ship as .mtx-style edge lists; this reader is
+// sufficient for those plus the files our generators write. Pattern
+// entries read as 1.0; symmetric inputs are expanded (both triangles).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::io {
+
+using MmTriples = sparse::Triples<vidx_t, val_t>;
+
+/// Parse from a stream. Throws std::runtime_error on malformed input.
+MmTriples read_matrix_market(std::istream& in);
+
+/// Parse from a file path.
+MmTriples read_matrix_market_file(const std::string& path);
+
+/// Write in "coordinate real general" with 1-based indices.
+void write_matrix_market(std::ostream& out, const MmTriples& m,
+                         const std::string& comment = {});
+
+void write_matrix_market_file(const std::string& path, const MmTriples& m,
+                              const std::string& comment = {});
+
+}  // namespace mclx::io

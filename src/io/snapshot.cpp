@@ -1,0 +1,99 @@
+#include "io/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mclx::io {
+
+namespace {
+
+constexpr char kTriplesMagic[8] = {'M', 'C', 'L', 'X', 'T', 'R', 'I', '1'};
+constexpr char kLabelsMagic[8] = {'M', 'C', 'L', 'X', 'L', 'A', 'B', '1'};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("snapshot: " + what);
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) fail("truncated file");
+  return value;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open for write: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path, const char (&magic)[8]) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open: " + path);
+  char got[8];
+  in.read(got, 8);
+  if (!in || std::memcmp(got, magic, 8) != 0) fail("bad magic in " + path);
+  return in;
+}
+
+}  // namespace
+
+void save_triples(const std::string& path,
+                  const sparse::Triples<vidx_t, val_t>& m) {
+  std::ofstream out = open_out(path);
+  out.write(kTriplesMagic, 8);
+  write_pod(out, m.nrows());
+  write_pod(out, m.ncols());
+  write_pod(out, static_cast<std::uint64_t>(m.nnz()));
+  for (const auto& e : m) {
+    write_pod(out, e.row);
+    write_pod(out, e.col);
+    write_pod(out, e.val);
+  }
+  if (!out) fail("write failed: " + path);
+}
+
+sparse::Triples<vidx_t, val_t> load_triples(const std::string& path) {
+  std::ifstream in = open_in(path, kTriplesMagic);
+  const auto nrows = read_pod<vidx_t>(in);
+  const auto ncols = read_pod<vidx_t>(in);
+  const auto nnz = read_pod<std::uint64_t>(in);
+  if (nrows < 0 || ncols < 0) fail("negative dimensions in " + path);
+  sparse::Triples<vidx_t, val_t> m(nrows, ncols);
+  m.reserve(nnz);
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    const auto row = read_pod<vidx_t>(in);
+    const auto col = read_pod<vidx_t>(in);
+    const auto val = read_pod<val_t>(in);
+    if (row < 0 || row >= nrows || col < 0 || col >= ncols)
+      fail("entry out of bounds in " + path);
+    m.push_unchecked(row, col, val);
+  }
+  return m;
+}
+
+void save_labels(const std::string& path, const std::vector<vidx_t>& labels) {
+  std::ofstream out = open_out(path);
+  out.write(kLabelsMagic, 8);
+  write_pod(out, static_cast<std::uint64_t>(labels.size()));
+  for (const vidx_t l : labels) write_pod(out, l);
+  if (!out) fail("write failed: " + path);
+}
+
+std::vector<vidx_t> load_labels(const std::string& path) {
+  std::ifstream in = open_in(path, kLabelsMagic);
+  const auto n = read_pod<std::uint64_t>(in);
+  std::vector<vidx_t> labels;
+  labels.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) labels.push_back(read_pod<vidx_t>(in));
+  return labels;
+}
+
+}  // namespace mclx::io

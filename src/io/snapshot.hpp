@@ -1,0 +1,27 @@
+// Compact binary snapshot format: save/load sparse networks and cluster
+// label arrays without Matrix Market's text-parsing cost. Little-endian,
+// versioned header, explicit sizes — suitable for checkpointing a large
+// run's inputs/outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::io {
+
+/// Write a triples matrix (magic "MCLXTRI1").
+void save_triples(const std::string& path,
+                  const sparse::Triples<vidx_t, val_t>& m);
+
+/// Read a triples matrix; throws std::runtime_error on bad magic/truncation.
+sparse::Triples<vidx_t, val_t> load_triples(const std::string& path);
+
+/// Write a label array (magic "MCLXLAB1").
+void save_labels(const std::string& path, const std::vector<vidx_t>& labels);
+
+std::vector<vidx_t> load_labels(const std::string& path);
+
+}  // namespace mclx::io

@@ -1,0 +1,54 @@
+// Immediate merge: the strawman §IV analyzes and rejects. Every stage
+// result is two-way merged into the running total as soon as it arrives:
+// n(k(k+1)/2 - 1) operations (quadratic passes over early results) and a
+// continuously busy CPU — kept as the ablation baseline for
+// bench_ablation_merge.
+#pragma once
+
+#include <array>
+
+#include "merge/kway.hpp"
+#include "merge/merge_stats.hpp"
+#include "sparse/csc.hpp"
+
+namespace mclx::merge {
+
+template <typename IT, typename VT>
+class ImmediateMerger {
+ public:
+  void push(sparse::Csc<IT, VT> list) {
+    if (!has_acc_) {
+      resident_ = list.nnz();
+      acc_ = std::move(list);
+      has_acc_ = true;
+      return;
+    }
+    MergeEvent e;
+    e.ways = 2;
+    e.elements = acc_.nnz() + list.nnz();
+    const std::uint64_t resident_at_event = acc_.nnz() + list.nnz();
+    const std::array<const sparse::Csc<IT, VT>*, 2> pair = {&acc_, &list};
+    sparse::Csc<IT, VT> merged = kway_merge<IT, VT>(pair);
+    e.output_elements = merged.nnz();
+    stats_.record(e, resident_at_event);
+    acc_ = std::move(merged);
+    resident_ = acc_.nnz();
+  }
+
+  sparse::Csc<IT, VT> finalize() {
+    has_acc_ = false;
+    resident_ = 0;
+    return std::move(acc_);
+  }
+
+  const MergeStats& stats() const { return stats_; }
+  std::uint64_t resident_elements() const { return resident_; }
+
+ private:
+  sparse::Csc<IT, VT> acc_;
+  bool has_acc_ = false;
+  std::uint64_t resident_ = 0;
+  MergeStats stats_;
+};
+
+}  // namespace mclx::merge

@@ -1,0 +1,104 @@
+// k-way heap merge of equally-shaped CSC blocks: the summation step of
+// Sparse SUMMA (Cij = Σ_k Aik·Bkj) expressed as a merge of the k partial
+// products. Column-by-column: a min-heap over the k lists' current row
+// ids pops the smallest, folding equal (col,row) coordinates by addition.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace mclx::merge {
+
+/// Merge `blocks` (all same shape) into their sum. Accepts pointers so
+/// callers can mix owned and borrowed blocks without copies.
+template <typename IT, typename VT>
+sparse::Csc<IT, VT> kway_merge(
+    std::span<const sparse::Csc<IT, VT>* const> blocks) {
+  if (blocks.empty()) throw std::invalid_argument("kway_merge: no blocks");
+  const IT nrows = blocks.front()->nrows();
+  const IT ncols = blocks.front()->ncols();
+  for (const auto* b : blocks) {
+    if (b->nrows() != nrows || b->ncols() != ncols)
+      throw std::invalid_argument("kway_merge: shape mismatch");
+  }
+  if (blocks.size() == 1) return *blocks.front();
+
+  struct Entry {
+    IT row;
+    IT pos;        // position within the block's arrays
+    std::size_t which;
+  };
+  auto entry_greater = [](const Entry& x, const Entry& y) {
+    return x.row > y.row;
+  };
+
+  std::size_t total = 0;
+  for (const auto* b : blocks) total += b->nnz();
+
+  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  std::vector<IT> rowids;
+  std::vector<VT> vals;
+  rowids.reserve(total);
+  vals.reserve(total);
+  std::vector<Entry> heap;
+
+  for (IT j = 0; j < ncols; ++j) {
+    heap.clear();
+    for (std::size_t w = 0; w < blocks.size(); ++w) {
+      const auto* b = blocks[w];
+      if (b->col_nnz(j) > 0) {
+        heap.push_back({b->col_rows(j)[0], b->colptr()[j], w});
+      }
+    }
+    std::make_heap(heap.begin(), heap.end(), entry_greater);
+
+    IT current_row = IT{-1};
+    VT current_val{};
+    bool has_current = false;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), entry_greater);
+      Entry top = heap.back();
+      heap.pop_back();
+      const auto* b = blocks[top.which];
+      const VT v = b->vals()[top.pos];
+      if (has_current && top.row == current_row) {
+        current_val += v;
+      } else {
+        if (has_current) {
+          rowids.push_back(current_row);
+          vals.push_back(current_val);
+        }
+        current_row = top.row;
+        current_val = v;
+        has_current = true;
+      }
+      const IT next = top.pos + 1;
+      if (next < b->colptr()[j + 1]) {
+        heap.push_back({b->rowids()[next], next, top.which});
+        std::push_heap(heap.begin(), heap.end(), entry_greater);
+      }
+    }
+    if (has_current) {
+      rowids.push_back(current_row);
+      vals.push_back(current_val);
+    }
+    colptr[static_cast<std::size_t>(j) + 1] = static_cast<IT>(rowids.size());
+  }
+  return sparse::Csc<IT, VT>(nrows, ncols, std::move(colptr),
+                             std::move(rowids), std::move(vals));
+}
+
+/// Convenience overload for owned vectors.
+template <typename IT, typename VT>
+sparse::Csc<IT, VT> kway_merge(const std::vector<sparse::Csc<IT, VT>>& blocks) {
+  std::vector<const sparse::Csc<IT, VT>*> ptrs;
+  ptrs.reserve(blocks.size());
+  for (const auto& b : blocks) ptrs.push_back(&b);
+  return kway_merge<IT, VT>(ptrs);
+}
+
+}  // namespace mclx::merge

@@ -1,0 +1,28 @@
+#include "merge/merge_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mclx::merge {
+
+void MergeStats::record(const MergeEvent& e, std::uint64_t resident) {
+  elements_processed += e.elements;
+  peak_elements = std::max(peak_elements, resident);
+  ++merge_events;
+  events.push_back(e);
+}
+
+double MergeStats::weighted_ops() const {
+  double total = 0;
+  for (const auto& e : events) {
+    total += static_cast<double>(e.elements) *
+             std::log2(static_cast<double>(e.ways) + 1.0);
+  }
+  return total;
+}
+
+std::uint64_t peak_bytes(const MergeStats& stats, std::size_t bytes_per_elem) {
+  return stats.peak_elements * static_cast<std::uint64_t>(bytes_per_elem);
+}
+
+}  // namespace mclx::merge

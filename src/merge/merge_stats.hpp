@@ -1,0 +1,36 @@
+// Bookkeeping shared by the merge schemes: how many elements flowed
+// through merge events, the widest working set (peak memory proxy the
+// paper reports in Table III), and weighted operation counts for the
+// §IV complexity ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mclx::merge {
+
+/// One merge event: `ways` input lists totalling `elements` entries,
+/// producing `output_elements` after combining duplicates.
+struct MergeEvent {
+  std::uint64_t elements = 0;
+  std::uint64_t output_elements = 0;
+  int ways = 0;
+};
+
+struct MergeStats {
+  std::uint64_t elements_processed = 0;  ///< sum over events of inputs
+  std::uint64_t peak_elements = 0;       ///< max resident elements at any event
+  int merge_events = 0;
+  std::vector<MergeEvent> events;
+
+  void record(const MergeEvent& e, std::uint64_t resident);
+
+  /// Σ events elements · lg(ways+1): the heap-comparison op count the §IV
+  /// analysis bounds (multiway: kn·lg k; binary: kn·lg k·lg lg k).
+  double weighted_ops() const;
+};
+
+/// Peak memory in bytes given an element footprint.
+std::uint64_t peak_bytes(const MergeStats& stats, std::size_t bytes_per_elem);
+
+}  // namespace mclx::merge

@@ -1,0 +1,51 @@
+#include "sim/collectives.hpp"
+
+#include <algorithm>
+
+namespace mclx::sim {
+
+namespace {
+
+vtime_t group_entry_time(SimState& sim, std::span<const int> group) {
+  vtime_t mx = 0;
+  for (const int r : group) mx = std::max(mx, sim.rank(r).cpu_now());
+  return mx;
+}
+
+vtime_t run_collective(SimState& sim, std::span<const int> group,
+                       vtime_t cost, Stage stage) {
+  const vtime_t start = group_entry_time(sim, group);
+  for (const int r : group) {
+    sim.rank(r).cpu_skew_to(start);
+    sim.rank(r).cpu_run(stage, cost);
+  }
+  return start + cost;
+}
+
+}  // namespace
+
+vtime_t sim_bcast(SimState& sim, std::span<const int> group, bytes_t bytes,
+                  Stage stage) {
+  const CostModel model(sim.machine());
+  return run_collective(sim, group,
+                        model.bcast(static_cast<int>(group.size()), bytes),
+                        stage);
+}
+
+vtime_t sim_allreduce(SimState& sim, std::span<const int> group, bytes_t bytes,
+                      Stage stage) {
+  const CostModel model(sim.machine());
+  return run_collective(
+      sim, group, model.allreduce(static_cast<int>(group.size()), bytes),
+      stage);
+}
+
+vtime_t sim_allgather(SimState& sim, std::span<const int> group,
+                      bytes_t bytes_per_rank, Stage stage) {
+  const CostModel model(sim.machine());
+  return run_collective(
+      sim, group,
+      model.allgather(static_cast<int>(group.size()), bytes_per_rank), stage);
+}
+
+}  // namespace mclx::sim

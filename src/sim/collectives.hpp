@@ -1,0 +1,33 @@
+// Bulk-synchronous collectives on the simulated machine.
+//
+// A collective among a rank group starts when the slowest participant
+// arrives (the gap is unattributed skew, mirroring how MPI time "between"
+// profiler stages behaves) and charges every participant the model cost,
+// attributed to the given stage. Payload movement is free in-process —
+// the caller already has shared access to the data — so these functions
+// advance time only.
+#pragma once
+
+#include <span>
+
+#include "sim/costmodel.hpp"
+#include "sim/stage.hpp"
+#include "sim/timeline.hpp"
+#include "util/types.hpp"
+
+namespace mclx::sim {
+
+/// Tree broadcast of `bytes` from one member to the whole group.
+/// Returns the completion time (all participants' CPU clocks equal it).
+vtime_t sim_bcast(SimState& sim, std::span<const int> group, bytes_t bytes,
+                  Stage stage);
+
+/// Allreduce of `bytes` (e.g. per-column partial sums) within the group.
+vtime_t sim_allreduce(SimState& sim, std::span<const int> group, bytes_t bytes,
+                      Stage stage);
+
+/// Allgather where each rank contributes `bytes_per_rank`.
+vtime_t sim_allgather(SimState& sim, std::span<const int> group,
+                      bytes_t bytes_per_rank, Stage stage);
+
+}  // namespace mclx::sim

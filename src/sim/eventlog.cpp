@@ -1,0 +1,50 @@
+#include "sim/eventlog.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mclx::sim {
+
+namespace {
+EventLog* g_log = nullptr;
+}
+
+void set_event_log(EventLog* log) { g_log = log; }
+EventLog* event_log() { return g_log; }
+
+void EventLog::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    // pid = rank; tid 0 = CPU, 1 = GPU; durations in microseconds.
+    os << "{\"name\":\"" << stage_name(e.stage) << "\",\"ph\":\"X\",\"pid\":"
+       << e.rank << ",\"tid\":" << (e.resource == Resource::kGpu ? 1 : 0)
+       << ",\"ts\":" << e.start * 1e6 << ",\"dur\":"
+       << (e.end - e.start) * 1e6 << "}";
+  }
+  // Thread name metadata so rows read "rank N cpu/gpu".
+  int max_rank = -1;
+  for (const auto& e : events_) max_rank = std::max(max_rank, e.rank);
+  for (int r = 0; r <= max_rank; ++r) {
+    for (int t = 0; t < 2; ++t) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << r
+         << ",\"tid\":" << t << ",\"args\":{\"name\":\""
+         << (t == 0 ? "cpu" : "gpu") << "\"}}";
+    }
+  }
+  os << "]}";
+}
+
+void EventLog::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("eventlog: cannot write " + path);
+  write_chrome_trace(out);
+}
+
+}  // namespace mclx::sim

@@ -1,0 +1,67 @@
+// Event log: optional recording of every timeline interval (rank,
+// resource, stage, start, end) during a simulated run, exportable as
+// Chrome tracing JSON (chrome://tracing, Perfetto) — the Fig 2 pipeline
+// made visible: broadcasts marching along the CPU rows while multiplies
+// fill the GPU rows, merges slotting into the gaps.
+//
+// Recording is off by default (a global sink keeps RankTimeline's hot
+// path branch-cheap); enable it around the region of interest.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/stage.hpp"
+#include "util/types.hpp"
+
+namespace mclx::sim {
+
+enum class Resource : std::uint8_t { kCpu = 0, kGpu = 1 };
+
+struct Event {
+  int rank = 0;
+  Resource resource = Resource::kCpu;
+  Stage stage = Stage::kOther;
+  vtime_t start = 0;
+  vtime_t end = 0;
+};
+
+class EventLog {
+ public:
+  void record(const Event& e) { events_.push_back(e); }
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Chrome tracing "traceEvents" JSON. Virtual seconds are emitted as
+  /// microseconds (the viewer's native unit); each rank appears as a
+  /// process with a CPU and a GPU thread row.
+  void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Global recording sink: when set, RankTimeline reports every busy
+/// interval here. Call with nullptr to stop. Not owned.
+void set_event_log(EventLog* log);
+EventLog* event_log();
+
+/// RAII scope: enable recording into `log` for the current scope.
+class ScopedEventLog {
+ public:
+  explicit ScopedEventLog(EventLog& log) : previous_(event_log()) {
+    set_event_log(&log);
+  }
+  ScopedEventLog(const ScopedEventLog&) = delete;
+  ScopedEventLog& operator=(const ScopedEventLog&) = delete;
+  ~ScopedEventLog() { set_event_log(previous_); }
+
+ private:
+  EventLog* previous_;
+};
+
+}  // namespace mclx::sim

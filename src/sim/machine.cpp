@@ -1,0 +1,103 @@
+#include "sim/machine.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mclx::sim {
+
+void MachineConfig::validate() const {
+  if (nodes <= 0) throw std::invalid_argument("machine: nodes <= 0");
+  if (ranks_per_node <= 0)
+    throw std::invalid_argument("machine: ranks_per_node <= 0");
+  if (threads_per_rank <= 0)
+    throw std::invalid_argument("machine: threads_per_rank <= 0");
+  if (gpus_per_rank < 0)
+    throw std::invalid_argument("machine: negative gpus_per_rank");
+  // Note: 2D SUMMA needs a perfect-square rank count, but that is the
+  // ProcGrid's invariant (3D runs use d*d*layers ranks); the machine
+  // itself accepts any positive count.
+  if (total_ranks() <= 0) {
+    throw std::invalid_argument("machine: no ranks");
+  }
+  if (cpu_core_rate_flops <= 0 || gpu_rate_flops <= 0 || net_alpha_s < 0 ||
+      net_beta_s_per_byte < 0) {
+    throw std::invalid_argument("machine: nonpositive rate");
+  }
+  if (work_scale <= 0) throw std::invalid_argument("machine: work_scale <= 0");
+  if (comm_scale <= 0) throw std::invalid_argument("machine: comm_scale <= 0");
+}
+
+MachineConfig summit_like(int nodes, NodeMode mode, int gpus_used) {
+  MachineConfig m;
+  m.nodes = nodes;
+  m.work_scale = kMiniWorkScale;
+  m.comm_scale = kMiniWorkScale / 48.0;
+  if (mode == NodeMode::kThreadBased) {
+    m.ranks_per_node = 1;
+    m.threads_per_rank = 42;
+    m.gpus_per_rank = gpus_used;
+  } else {
+    m.ranks_per_node = gpus_used;
+    m.threads_per_rank = 42 / gpus_used;
+    m.gpus_per_rank = 1;
+    m.mem_per_rank /= static_cast<bytes_t>(gpus_used);
+  }
+  m.validate();
+  return m;
+}
+
+MachineConfig summit_like_cpu_only(int nodes) {
+  MachineConfig m = summit_like(nodes, NodeMode::kThreadBased, 6);
+  m.gpus_per_rank = 0;
+  return m;
+}
+
+MachineConfig perlmutter_like(int nodes, NodeMode mode) {
+  MachineConfig m = summit_like(nodes, mode, 4);
+  if (mode == NodeMode::kThreadBased) {
+    m.threads_per_rank = 64;
+  } else {
+    m.threads_per_rank = 64 / 4;
+  }
+  // A100: ~1.6x V100 sparse throughput, 40 GB HBM2e.
+  m.gpu_rate_flops = 9.6e9;
+  m.gpu_mem = bytes_t{40} * (bytes_t{1} << 30);
+  // Slingshot-11: ~25 GB/s injection, lower latency than EDR.
+  m.net_alpha_s = 2e-6;
+  m.net_beta_s_per_byte = 1.0 / 25e9;
+  // PCIe gen4 host link (no NVLink to host on Perlmutter).
+  m.pci_beta_s_per_byte = 1.0 / 25e9;
+  m.validate();
+  return m;
+}
+
+MachineConfig frontier_like(int nodes, NodeMode mode) {
+  // Count MI250X GCDs as devices: 8 per node.
+  MachineConfig m = summit_like(nodes, mode, 8);
+  if (mode == NodeMode::kThreadBased) {
+    m.threads_per_rank = 64;
+  } else {
+    m.threads_per_rank = 64 / 8;
+  }
+  // One GCD ≈ 1.3x V100 on sparse workloads; 64 GB HBM2e each.
+  m.gpu_rate_flops = 7.8e9;
+  m.gpu_mem = bytes_t{64} * (bytes_t{1} << 30);
+  // Four Slingshot NICs per node: ~100 GB/s aggregate injection.
+  m.net_alpha_s = 2e-6;
+  m.net_beta_s_per_byte = 1.0 / 100e9;
+  // Infinity Fabric host link.
+  m.pci_beta_s_per_byte = 1.0 / 36e9;
+  m.validate();
+  return m;
+}
+
+std::string to_string(const MachineConfig& m) {
+  std::ostringstream oss;
+  oss << m.nodes << " nodes x " << m.ranks_per_node << " ranks ("
+      << m.threads_per_rank << " threads, " << m.gpus_per_rank
+      << " GPUs per rank)";
+  return oss.str();
+}
+
+}  // namespace mclx::sim

@@ -1,0 +1,116 @@
+// Simulated machine description.
+//
+// The paper evaluates on ORNL Summit: 4608 nodes, each 2×POWER9 (44 cores
+// total, the paper uses 40-42 per node for compute) + 6×V100 (16 GB),
+// dual-rail EDR InfiniBand in a non-blocking fat tree. We reproduce that
+// as a parameterized MachineConfig consumed by the cost model; the
+// `summit_like` presets encode both node-management modes compared in
+// §VII-B (thread-based: one rank per node driving all GPUs; process-based:
+// one rank per GPU).
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace mclx::sim {
+
+enum class NodeMode {
+  kThreadBased,   ///< 1 MPI rank/node, all cores + all GPUs to that rank
+  kProcessBased,  ///< 1 MPI rank/GPU, cores split evenly
+};
+
+struct MachineConfig {
+  int nodes = 16;
+  int ranks_per_node = 1;
+  int threads_per_rank = 42;
+  int gpus_per_rank = 6;
+
+  // Network (per-message latency and inverse bandwidth of the NIC path).
+  // EDR dual-rail ≈ 23 GB/s injection per node; fat-tree is non-blocking
+  // so we charge no contention term.
+  double net_alpha_s = 5e-6;
+  double net_beta_s_per_byte = 1.0 / 23e9;
+
+  // Host↔device link (NVLink2 on Summit, ~50 GB/s per direction; we use a
+  // de-rated effective 40 GB/s plus a fixed setup latency).
+  double pci_alpha_s = 15e-6;
+  double pci_beta_s_per_byte = 1.0 / 40e9;
+
+  // Effective per-core rate for hash-based SpGEMM-like sparse work. Sparse
+  // kernels are memory-bound: a few tenths of a Gflop/s per POWER9 core is
+  // the right order for hash SpGEMM (Nagasaka et al. report ~5-15 Gflop/s
+  // on full KNL/Skylake sockets for large cf).
+  double cpu_core_rate_flops = 0.25e9;
+
+  // Peak effective rate of one V100 on sparse SpGEMM when the compression
+  // factor is high. Per-kernel efficiency curves in the cost model de-rate
+  // this as cf shrinks. Calibrated jointly with cpu_core_rate_flops so the
+  // node-level (6-GPU) stage ratios of Fig 4 emerge: nsparse ~3x, bhsparse
+  // ~2.3x, rmerge2 ~1.1x over the 42-thread cpu-hash stage.
+  double gpu_rate_flops = 6e9;
+
+  // Per-kernel-launch fixed overhead (launch + descriptor setup).
+  double gpu_launch_s = 30e-6;
+
+  // Memory capacities (bytes). Defaults mirror Summit: 256 GB/node DDR4,
+  // 16 GB HBM2 per V100. Benches shrink mem_per_rank to force multi-phase
+  // execution on the mini datasets.
+  bytes_t mem_per_rank = bytes_t{256} * (bytes_t{1} << 30);
+  bytes_t gpu_mem = bytes_t{16} * (bytes_t{1} << 30);
+
+  // Mini-dataset scale bridge. Our workloads are ~10^5 times smaller than
+  // the paper's (isom-mini carries ~10^6 edges vs isom100-1's 1.7·10^10),
+  // so on a full-rate virtual Summit everything would be latency-bound and
+  // the compute/communication balance the paper studies would vanish.
+  // work_scale divides every *rate* (compute flops/s, network and PCIe
+  // bytes/s) while leaving per-message/per-launch latencies untouched,
+  // putting the mini runs back in the paper's bandwidth/compute-bound
+  // regime with comparable absolute magnitudes. 1.0 = real Summit rates.
+  double work_scale = 1.0;
+
+  // Communication uses its own scale: the minis' arithmetic intensity
+  // (flops per transferred byte) is ~an order of magnitude below the
+  // paper's matrices (top-k keeps ~50 nnz/column here vs ~1000 there), so
+  // scaling bandwidths by work_scale alone would make every run
+  // broadcast-bound. comm_scale is chosen so the paper's per-stage
+  // compute:broadcast ratio (Table II: SpGEMM ≈ 4x broadcast) carries
+  // over. 1.0 = real Summit bandwidths.
+  double comm_scale = 1.0;
+
+  int total_ranks() const { return nodes * ranks_per_node; }
+
+  /// Throws std::invalid_argument when the rank count is not a perfect
+  /// square (HipMCL's 2D grid requirement) or any rate is nonpositive.
+  void validate() const;
+};
+
+/// Default work_scale of the summit_like presets (see MachineConfig).
+inline constexpr double kMiniWorkScale = 2.5e5;
+
+/// Summit-like preset for `nodes` nodes in the given management mode.
+/// Thread-based: 1 rank/node, 42 threads, 6 GPUs. Process-based (the §VII-B
+/// comparison used 4 GPUs to keep rank counts square): `gpus_used` ranks
+/// per node, threads split evenly. The preset applies kMiniWorkScale.
+MachineConfig summit_like(int nodes, NodeMode mode = NodeMode::kThreadBased,
+                          int gpus_used = 6);
+
+/// A GPU-less configuration (original HipMCL never touches GPUs).
+MachineConfig summit_like_cpu_only(int nodes);
+
+/// NERSC Perlmutter-like preset: 1 AMD Milan (64 cores) + 4 A100 (40 GB)
+/// per GPU node, Slingshot-11 (~25 GB/s injection). A100's sparse
+/// throughput ≈ 1.6x V100's. Applies the same mini-scale factors.
+MachineConfig perlmutter_like(int nodes,
+                              NodeMode mode = NodeMode::kThreadBased);
+
+/// OLCF Frontier-like preset: 1 Trento (64 cores) + 4 MI250X (128 GB,
+/// counted as 8 GCDs of 64 GB) per node, Slingshot (~25 GB/s x4 NICs).
+/// The first exascale machine — the architecture the paper's "pre-
+/// exascale" optimizations were aimed toward.
+MachineConfig frontier_like(int nodes,
+                            NodeMode mode = NodeMode::kThreadBased);
+
+std::string to_string(const MachineConfig& m);
+
+}  // namespace mclx::sim

@@ -1,0 +1,45 @@
+// The HipMCL stage taxonomy used for time attribution — exactly the six
+// categories of the paper's Figure 1 stacked bars.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace mclx::sim {
+
+enum class Stage : std::size_t {
+  kLocalSpGEMM = 0,
+  kMemEstimation,
+  kSummaBcast,
+  kMerge,
+  kPrune,
+  kOther,
+};
+
+inline constexpr std::size_t kNumStages = 6;
+
+inline constexpr std::array<std::string_view, kNumStages> kStageNames = {
+    "Local SpGEMM", "Memory estimation", "SUMMA broadcast",
+    "Merging",      "Pruning",           "Other",
+};
+
+inline constexpr std::string_view stage_name(Stage s) {
+  return kStageNames[static_cast<std::size_t>(s)];
+}
+
+/// Per-stage accumulated seconds.
+using StageTimes = std::array<double, kNumStages>;
+
+inline StageTimes& operator+=(StageTimes& a, const StageTimes& b) {
+  for (std::size_t i = 0; i < kNumStages; ++i) a[i] += b[i];
+  return a;
+}
+
+inline double total(const StageTimes& t) {
+  double sum = 0;
+  for (const double x : t) sum += x;
+  return sum;
+}
+
+}  // namespace mclx::sim

@@ -1,0 +1,219 @@
+// Conversions among Triples / CSC / CSR / DCSC, plus transpose.
+//
+// The DCSC→CSC "decompression" and the CSC-as-transposed-CSR identity are
+// the exact preprocessing tricks §III-B of the paper uses to feed
+// CSR-native GPU kernels without materializing a transpose.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dcsc.hpp"
+#include "sparse/triples.hpp"
+
+namespace mclx::sparse {
+
+/// Triples (any order, duplicates summed) → CSC with sorted columns.
+template <typename IT, typename VT>
+Csc<IT, VT> csc_from_triples(Triples<IT, VT> t) {
+  t.sort_and_combine();
+  const IT nrows = t.nrows();
+  const IT ncols = t.ncols();
+  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  std::vector<IT> rowids(t.nnz());
+  std::vector<VT> vals(t.nnz());
+  for (const auto& e : t) ++colptr[static_cast<std::size_t>(e.col) + 1];
+  for (std::size_t j = 1; j < colptr.size(); ++j) colptr[j] += colptr[j - 1];
+  std::size_t p = 0;
+  for (const auto& e : t) {
+    rowids[p] = e.row;
+    vals[p] = e.val;
+    ++p;
+  }
+  return Csc<IT, VT>(nrows, ncols, std::move(colptr), std::move(rowids),
+                     std::move(vals));
+}
+
+template <typename IT, typename VT>
+Triples<IT, VT> triples_from_csc(const Csc<IT, VT>& a) {
+  Triples<IT, VT> t(a.nrows(), a.ncols());
+  t.reserve(a.nnz());
+  for (IT j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      t.push_unchecked(rows[p], j, vals[p]);
+  }
+  return t;
+}
+
+/// CSC → CSR of the same matrix (an explicit transpose-shaped shuffle).
+template <typename IT, typename VT>
+Csr<IT, VT> csr_from_csc(const Csc<IT, VT>& a) {
+  const IT nrows = a.nrows();
+  std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, 0);
+  std::vector<IT> colids(a.nnz());
+  std::vector<VT> vals(a.nnz());
+  for (IT r : a.rowids()) ++rowptr[static_cast<std::size_t>(r) + 1];
+  for (std::size_t i = 1; i < rowptr.size(); ++i) rowptr[i] += rowptr[i - 1];
+  std::vector<IT> cursor(rowptr.begin(), rowptr.end() - 1);
+  for (IT j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto v = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const IT dst = cursor[static_cast<std::size_t>(rows[p])]++;
+      colids[dst] = j;
+      vals[dst] = v[p];
+    }
+  }
+  return Csr<IT, VT>(nrows, a.ncols(), std::move(rowptr), std::move(colids),
+                     std::move(vals));
+}
+
+template <typename IT, typename VT>
+Csc<IT, VT> csc_from_csr(const Csr<IT, VT>& a) {
+  const IT ncols = a.ncols();
+  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  std::vector<IT> rowids(a.nnz());
+  std::vector<VT> vals(a.nnz());
+  for (IT c : a.colids()) ++colptr[static_cast<std::size_t>(c) + 1];
+  for (std::size_t j = 1; j < colptr.size(); ++j) colptr[j] += colptr[j - 1];
+  std::vector<IT> cursor(colptr.begin(), colptr.end() - 1);
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto v = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const IT dst = cursor[static_cast<std::size_t>(cols[p])]++;
+      rowids[dst] = i;
+      vals[dst] = v[p];
+    }
+  }
+  return Csc<IT, VT>(a.nrows(), ncols, std::move(colptr), std::move(rowids),
+                     std::move(vals));
+}
+
+/// Zero-copy-in-spirit identity: a CSC matrix reinterpreted as the CSR of
+/// its transpose (§III-B). Arrays are copied, not recomputed.
+template <typename IT, typename VT>
+Csr<IT, VT> csr_of_transpose(const Csc<IT, VT>& a) {
+  return Csr<IT, VT>(a.ncols(), a.nrows(), a.colptr(), a.rowids(), a.vals());
+}
+
+/// The inverse reinterpretation: a CSR matrix as the CSC of its transpose.
+template <typename IT, typename VT>
+Csc<IT, VT> csc_of_transpose(const Csr<IT, VT>& a) {
+  return Csc<IT, VT>(a.ncols(), a.nrows(), a.rowptr(), a.colids(), a.vals());
+}
+
+/// Explicit transpose in CSC.
+template <typename IT, typename VT>
+Csc<IT, VT> transpose(const Csc<IT, VT>& a) {
+  return csc_from_csr(csr_of_transpose(a));
+}
+
+/// CSC → DCSC: compress away empty columns.
+template <typename IT, typename VT>
+Dcsc<IT, VT> dcsc_from_csc(const Csc<IT, VT>& a) {
+  std::vector<IT> jc;
+  std::vector<IT> cp(1, 0);
+  std::vector<IT> ir;
+  std::vector<VT> num;
+  ir.reserve(a.nnz());
+  num.reserve(a.nnz());
+  for (IT j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    if (rows.empty()) continue;
+    jc.push_back(j);
+    const auto vals = a.col_vals(j);
+    ir.insert(ir.end(), rows.begin(), rows.end());
+    num.insert(num.end(), vals.begin(), vals.end());
+    cp.push_back(static_cast<IT>(ir.size()));
+  }
+  return Dcsc<IT, VT>(a.nrows(), a.ncols(), std::move(jc), std::move(cp),
+                      std::move(ir), std::move(num));
+}
+
+/// DCSC → CSC: decompress the column pointers (the §III-B preprocessing
+/// step); ir/num arrays carry over unchanged.
+template <typename IT, typename VT>
+Csc<IT, VT> csc_from_dcsc(const Dcsc<IT, VT>& a) {
+  std::vector<IT> colptr(static_cast<std::size_t>(a.ncols()) + 1, 0);
+  for (IT k = 0; k < a.nzc(); ++k) {
+    colptr[static_cast<std::size_t>(a.nz_col_id(k)) + 1] =
+        a.cp()[k + 1] - a.cp()[k];
+  }
+  for (std::size_t j = 1; j < colptr.size(); ++j) colptr[j] += colptr[j - 1];
+  return Csc<IT, VT>(a.nrows(), a.ncols(), std::move(colptr), a.ir(),
+                     a.num());
+}
+
+template <typename IT, typename VT>
+Dcsc<IT, VT> dcsc_from_triples(Triples<IT, VT> t) {
+  return dcsc_from_csc(csc_from_triples(std::move(t)));
+}
+
+template <typename IT, typename VT>
+Triples<IT, VT> triples_from_dcsc(const Dcsc<IT, VT>& a) {
+  Triples<IT, VT> t(a.nrows(), a.ncols());
+  t.reserve(a.nnz());
+  for (IT k = 0; k < a.nzc(); ++k) {
+    const IT j = a.nz_col_id(k);
+    const auto rows = a.nz_col_rows(k);
+    const auto vals = a.nz_col_vals(k);
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      t.push_unchecked(rows[p], j, vals[p]);
+  }
+  return t;
+}
+
+/// Column slice [j0, j1) of a CSC matrix (multi-GPU column splitting and
+/// the phased expansion both batch over B's columns).
+template <typename IT, typename VT>
+Csc<IT, VT> csc_col_slice(const Csc<IT, VT>& a, IT j0, IT j1) {
+  if (j0 < 0 || j1 < j0 || j1 > a.ncols())
+    throw std::invalid_argument("csc_col_slice: bad range");
+  const IT base = a.colptr()[j0];
+  std::vector<IT> colptr(static_cast<std::size_t>(j1 - j0) + 1);
+  for (IT j = j0; j <= j1; ++j)
+    colptr[static_cast<std::size_t>(j - j0)] = a.colptr()[j] - base;
+  std::vector<IT> rowids(a.rowids().begin() + base,
+                         a.rowids().begin() + a.colptr()[j1]);
+  std::vector<VT> vals(a.vals().begin() + base,
+                       a.vals().begin() + a.colptr()[j1]);
+  return Csc<IT, VT>(a.nrows(), j1 - j0, std::move(colptr), std::move(rowids),
+                     std::move(vals));
+}
+
+/// Horizontal (column-wise) concatenation; all pieces share nrows.
+template <typename IT, typename VT>
+Csc<IT, VT> csc_hcat(const std::vector<Csc<IT, VT>>& pieces) {
+  if (pieces.empty()) return {};
+  const IT nrows = pieces.front().nrows();
+  IT ncols = 0;
+  std::size_t nnz = 0;
+  for (const auto& p : pieces) {
+    if (p.nrows() != nrows)
+      throw std::invalid_argument("csc_hcat: row count mismatch");
+    ncols += p.ncols();
+    nnz += p.nnz();
+  }
+  std::vector<IT> colptr;
+  colptr.reserve(static_cast<std::size_t>(ncols) + 1);
+  colptr.push_back(0);
+  std::vector<IT> rowids;
+  std::vector<VT> vals;
+  rowids.reserve(nnz);
+  vals.reserve(nnz);
+  for (const auto& p : pieces) {
+    const IT base = colptr.back();
+    for (IT j = 1; j <= p.ncols(); ++j) colptr.push_back(base + p.colptr()[j]);
+    rowids.insert(rowids.end(), p.rowids().begin(), p.rowids().end());
+    vals.insert(vals.end(), p.vals().begin(), p.vals().end());
+  }
+  return Csc<IT, VT>(nrows, ncols, std::move(colptr), std::move(rowids),
+                     std::move(vals));
+}
+
+}  // namespace mclx::sparse

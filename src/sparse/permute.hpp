@@ -1,0 +1,75 @@
+// Vertex-permutation utilities.
+//
+// HipMCL randomly permutes its input networks so that community structure
+// doesn't collide with the 2D block decomposition (consecutive-vertex
+// families would concentrate all flops on the diagonal blocks). These
+// helpers implement that: random permutation generation, symmetric
+// application to triples, and label remapping.
+#pragma once
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/triples.hpp"
+#include "util/rng.hpp"
+
+namespace mclx::sparse {
+
+/// Uniform random permutation of [0, n) (Fisher–Yates).
+template <typename IT>
+std::vector<IT> random_permutation(IT n, util::Xoshiro256& rng) {
+  if (n < 0) throw std::invalid_argument("random_permutation: negative n");
+  std::vector<IT> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), IT{0});
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.bounded(i)]);
+  }
+  return perm;
+}
+
+/// Inverse permutation: inv[perm[i]] == i. Throws on out-of-range or
+/// duplicate entries (not a permutation).
+template <typename IT>
+std::vector<IT> inverse_permutation(const std::vector<IT>& perm) {
+  std::vector<IT> inv(perm.size(), IT{-1});
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] < 0 || static_cast<std::size_t>(perm[i]) >= perm.size())
+      throw std::invalid_argument("inverse_permutation: index out of range");
+    auto& slot = inv[static_cast<std::size_t>(perm[i])];
+    if (slot != IT{-1})
+      throw std::invalid_argument("inverse_permutation: duplicate index");
+    slot = static_cast<IT>(i);
+  }
+  return inv;
+}
+
+/// Symmetric permutation P·A·Pᵀ: vertex v becomes perm[v] on both axes.
+/// Square matrices only (it is a graph relabeling).
+template <typename IT, typename VT>
+void permute_symmetric(Triples<IT, VT>& t, const std::vector<IT>& perm) {
+  if (t.nrows() != t.ncols())
+    throw std::invalid_argument("permute_symmetric: matrix not square");
+  if (perm.size() != static_cast<std::size_t>(t.nrows()))
+    throw std::invalid_argument("permute_symmetric: permutation size");
+  for (auto& e : t.data()) {
+    e.row = perm[static_cast<std::size_t>(e.row)];
+    e.col = perm[static_cast<std::size_t>(e.col)];
+  }
+}
+
+/// Relabel per-vertex values (e.g. ground-truth labels) under the same
+/// permutation: out[perm[v]] = in[v].
+template <typename IT, typename L>
+std::vector<L> permute_labels(const std::vector<L>& labels,
+                              const std::vector<IT>& perm) {
+  if (labels.size() != perm.size())
+    throw std::invalid_argument("permute_labels: size mismatch");
+  std::vector<L> out(labels.size());
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    out[static_cast<std::size_t>(perm[v])] = labels[v];
+  }
+  return out;
+}
+
+}  // namespace mclx::sparse

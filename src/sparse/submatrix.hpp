@@ -1,0 +1,65 @@
+// Submatrix extraction (CombBLAS's SpRef): A(I, J) for index sets I, J.
+// The downstream use here is pulling one cluster's induced subgraph out
+// of a network for inspection, but the primitive is general.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace mclx::sparse {
+
+/// C = A(rows, cols): row i of C is A's rows[i], column j is A's cols[j].
+/// Index sets may repeat and reorder (generalized SpRef); row indices
+/// within each output column stay sorted when `rows` is increasing.
+template <typename IT, typename VT>
+Csc<IT, VT> extract_submatrix(const Csc<IT, VT>& a,
+                              const std::vector<IT>& rows,
+                              const std::vector<IT>& cols) {
+  // Map original row -> list of output positions (supports duplicates).
+  std::vector<std::vector<IT>> row_map(static_cast<std::size_t>(a.nrows()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] < 0 || rows[i] >= a.nrows())
+      throw std::out_of_range("extract_submatrix: row index");
+    row_map[static_cast<std::size_t>(rows[i])].push_back(
+        static_cast<IT>(i));
+  }
+
+  std::vector<IT> colptr(cols.size() + 1, 0);
+  std::vector<IT> rowids;
+  std::vector<VT> vals;
+  std::vector<std::pair<IT, VT>> column;
+
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (cols[j] < 0 || cols[j] >= a.ncols())
+      throw std::out_of_range("extract_submatrix: col index");
+    column.clear();
+    const auto ar = a.col_rows(cols[j]);
+    const auto av = a.col_vals(cols[j]);
+    for (std::size_t p = 0; p < ar.size(); ++p) {
+      for (const IT out_row : row_map[static_cast<std::size_t>(ar[p])]) {
+        column.emplace_back(out_row, av[p]);
+      }
+    }
+    std::sort(column.begin(), column.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [r, v] : column) {
+      rowids.push_back(r);
+      vals.push_back(v);
+    }
+    colptr[j + 1] = static_cast<IT>(rowids.size());
+  }
+  return Csc<IT, VT>(static_cast<IT>(rows.size()),
+                     static_cast<IT>(cols.size()), std::move(colptr),
+                     std::move(rowids), std::move(vals));
+}
+
+/// Symmetric shorthand: A(I, I).
+template <typename IT, typename VT>
+Csc<IT, VT> extract_principal_submatrix(const Csc<IT, VT>& a,
+                                        const std::vector<IT>& ids) {
+  return extract_submatrix(a, ids, ids);
+}
+
+}  // namespace mclx::sparse

@@ -1,0 +1,96 @@
+#include "spgemm/registry.hpp"
+
+#include <stdexcept>
+
+#include "sparse/ops.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/heap.hpp"
+#include "spgemm/spa.hpp"
+#include "util/log.hpp"
+
+namespace mclx::spgemm {
+
+KernelKind HybridPolicy::select(std::uint64_t flops, double cf_estimate,
+                                bool gpu_available) const {
+  const double cf = cf_estimate > 0 ? cf_estimate : 8.0;  // neutral default
+  if (!gpu_available || flops < min_gpu_flops) {
+    return cf < cpu_cf_threshold ? KernelKind::kCpuHeap
+                                 : KernelKind::kCpuHash;
+  }
+  return cf >= gpu_cf_threshold ? KernelKind::kGpuNsparse
+                                : KernelKind::kGpuRmerge2;
+}
+
+LocalMultiplier::LocalMultiplier(const sim::CostModel& model,
+                                 KernelPolicy policy)
+    : model_(model), policy_(policy) {
+  const auto& m = model_.machine();
+  devices_.reserve(static_cast<std::size_t>(m.gpus_per_rank));
+  for (int g = 0; g < m.gpus_per_rank; ++g) devices_.emplace_back(m.gpu_mem);
+}
+
+LocalSpgemmResult LocalMultiplier::run_cpu(KernelKind kind, const CscD& a,
+                                           const CscD& b,
+                                           std::uint64_t flops) {
+  LocalSpgemmResult r;
+  r.used = kind;
+  r.flops = flops;
+  switch (kind) {
+    case KernelKind::kCpuHeap:
+      r.c = heap_spgemm(a, b);
+      break;
+    case KernelKind::kCpuHash:
+      r.c = hash_spgemm(a, b);
+      break;
+    case KernelKind::kCpuSpa:
+      r.c = spa_spgemm(a, b);
+      break;
+    default:
+      throw std::invalid_argument("run_cpu: not a CPU kernel");
+  }
+  r.cf = sparse::compression_factor(flops, r.c.nnz());
+  const double width = b.ncols() == 0
+                           ? 0.0
+                           : static_cast<double>(b.nnz()) /
+                                 static_cast<double>(b.ncols());
+  r.cpu_time = model_.local_spgemm(kind, flops, r.cf, width);
+  return r;
+}
+
+LocalSpgemmResult LocalMultiplier::multiply(const CscD& a, const CscD& b,
+                                            double cf_estimate) {
+  const std::uint64_t flops = sparse::spgemm_flops(a, b);
+  const KernelKind kind =
+      policy_.fixed ? *policy_.fixed
+                    : policy_.hybrid.select(flops, cf_estimate,
+                                            !devices_.empty());
+
+  if (!is_gpu_kernel(kind)) return run_cpu(kind, a, b, flops);
+
+  if (devices_.empty()) {
+    // A GPU kernel was requested on a GPU-less rank: honest fallback.
+    LocalSpgemmResult r = run_cpu(KernelKind::kCpuHash, a, b, flops);
+    r.gpu_fallback = true;
+    return r;
+  }
+
+  try {
+    gpuk::MultiGpuResult g = gpuk::multi_gpu_spgemm(kind, a, b, devices_,
+                                                    model_);
+    LocalSpgemmResult r;
+    r.c = std::move(g.c);
+    r.used = kind;
+    r.flops = g.flops;
+    r.cf = g.cf;
+    r.device_cost = g.cost;
+    return r;
+  } catch (const gpuk::GpuOom& oom) {
+    util::log_debug("gpu oom (", oom.requested(), " > ", oom.available(),
+                    " bytes); falling back to cpu-hash");
+    LocalSpgemmResult r = run_cpu(KernelKind::kCpuHash, a, b, flops);
+    r.gpu_fallback = true;
+    return r;
+  }
+}
+
+}  // namespace mclx::spgemm

@@ -1,0 +1,90 @@
+// Unified local-SpGEMM entry point with the paper's hybrid selection
+// recipe (§III, §VII-B): choose CPU vs GPU by flops (enough arithmetic to
+// saturate device threads?), then choose the GPU library by compression
+// factor (nsparse at large cf, rmerge2 at small), with cpu-hash vs
+// cpu-heap likewise split by cf on the CPU side.
+//
+// Selection inputs are *estimates* available before multiplying: the
+// exact flops (cheap to compute from the operands) and the cf estimated
+// by the iteration's memory-requirement pass — exactly the quantities
+// HipMCL has at hand.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gpuk/device.hpp"
+#include "gpuk/multigpu.hpp"
+#include "sim/costmodel.hpp"
+#include "sparse/csc.hpp"
+#include "spgemm/kernels.hpp"
+#include "util/types.hpp"
+
+namespace mclx::spgemm {
+
+struct HybridPolicy {
+  /// Below this many flops the GPU cannot be saturated: stay on CPU. The
+  /// default is tuned to the mini-dataset scale (see MachineConfig::
+  /// work_scale): the virtual device is work_scale times slower than a
+  /// real V100, so it saturates at work_scale times fewer flops —
+  /// ~10^8 real-threshold / 2.5e5 ≈ a few hundred. Blocks at the paper's
+  /// scale are always far above the real threshold; keeping this low
+  /// preserves that property for the minis' large-grid runs.
+  std::uint64_t min_gpu_flops = 512;
+  /// GPU library split: cf >= threshold -> nsparse, else rmerge2.
+  double gpu_cf_threshold = 4.0;
+  /// CPU kernel split: cf < threshold -> heap, else hash (§VI: heaps
+  /// slightly ahead only at small cf).
+  double cpu_cf_threshold = 1.5;
+
+  KernelKind select(std::uint64_t flops, double cf_estimate,
+                    bool gpu_available) const;
+};
+
+/// Kernel request: a fixed kernel, or hybrid selection.
+struct KernelPolicy {
+  std::optional<KernelKind> fixed;  ///< nullopt => hybrid
+  HybridPolicy hybrid;
+
+  static KernelPolicy fixed_kernel(KernelKind k) { return {k, {}}; }
+  static KernelPolicy hybrid_policy(HybridPolicy h = {}) {
+    return {std::nullopt, h};
+  }
+};
+
+using CscD = sparse::Csc<vidx_t, val_t>;
+
+struct LocalSpgemmResult {
+  CscD c;
+  KernelKind used = KernelKind::kCpuHash;
+  std::uint64_t flops = 0;
+  double cf = 0;                 ///< actual cf of this multiply
+  vtime_t cpu_time = 0;          ///< host-side kernel time (CPU kernels)
+  gpuk::DeviceCost device_cost;  ///< transfers + device kernel (GPU path)
+  bool gpu_fallback = false;     ///< GPU OOM forced the CPU path
+};
+
+/// Executes one local multiply with kernel selection, real computation,
+/// and virtual-cost reporting. Owns the rank's simulated devices.
+class LocalMultiplier {
+ public:
+  LocalMultiplier(const sim::CostModel& model, KernelPolicy policy);
+
+  /// `cf_estimate`: the iteration-level cf estimate used for selection
+  /// (<= 0 means unknown; a neutral default is used).
+  LocalSpgemmResult multiply(const CscD& a, const CscD& b,
+                             double cf_estimate = -1);
+
+  const KernelPolicy& policy() const { return policy_; }
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+
+ private:
+  LocalSpgemmResult run_cpu(KernelKind kind, const CscD& a, const CscD& b,
+                            std::uint64_t flops);
+
+  sim::CostModel model_;
+  KernelPolicy policy_;
+  std::vector<gpuk::GpuDevice> devices_;
+};
+
+}  // namespace mclx::spgemm

@@ -1,0 +1,106 @@
+// Semiring-generic SpGEMM — the Combinatorial BLAS substrate's defining
+// abstraction. CombBLAS (which HipMCL builds on) parameterizes all its
+// matrix kernels over a semiring (add, multiply, additive identity),
+// which is what lets the same SpGEMM implement numeric expansion
+// (plus-times), shortest-path relaxation (min-plus) and reachability
+// (or-and). MCL itself only needs plus-times, but the substrate would be
+// incomplete without the abstraction — and it falls out of the SPA
+// formulation almost for free.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace mclx::spgemm {
+
+/// Semiring concept: a type with
+///   static VT add_identity();
+///   static VT add(VT, VT);
+///   static VT multiply(VT, VT);
+/// Results equal to add_identity() are kept as explicit entries (the
+/// structural convention every kernel here follows).
+
+/// The arithmetic (+, ×) semiring — ordinary SpGEMM.
+template <typename VT>
+struct PlusTimes {
+  static VT add_identity() { return VT{}; }
+  static VT add(VT x, VT y) { return x + y; }
+  static VT multiply(VT x, VT y) { return x * y; }
+};
+
+/// The tropical (min, +) semiring — one step of all-pairs shortest paths:
+/// C(i,j) = min over k of A(i,k) + B(k,j).
+template <typename VT>
+struct MinPlus {
+  static VT add_identity() { return std::numeric_limits<VT>::infinity(); }
+  static VT add(VT x, VT y) { return std::min(x, y); }
+  static VT multiply(VT x, VT y) { return x + y; }
+};
+
+/// The boolean (or, and) semiring — reachability composition. Values are
+/// truthy when nonzero.
+template <typename VT>
+struct OrAnd {
+  static VT add_identity() { return VT{}; }
+  static VT add(VT x, VT y) { return (x != VT{} || y != VT{}) ? VT(1) : VT{}; }
+  static VT multiply(VT x, VT y) {
+    return (x != VT{} && y != VT{}) ? VT(1) : VT{};
+  }
+};
+
+/// C = A ⊗ B over the semiring SR, SPA-style column by column.
+template <typename SR, typename IT, typename VT>
+sparse::Csc<IT, VT> semiring_spgemm(const sparse::Csc<IT, VT>& a,
+                                    const sparse::Csc<IT, VT>& b) {
+  if (a.ncols() != b.nrows())
+    throw std::invalid_argument("semiring_spgemm: dimension mismatch");
+  const IT nrows = a.nrows();
+  const IT ncols = b.ncols();
+
+  std::vector<VT> accum(static_cast<std::size_t>(nrows), SR::add_identity());
+  std::vector<bool> occupied(static_cast<std::size_t>(nrows), false);
+  std::vector<IT> touched;
+
+  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  std::vector<IT> rowids;
+  std::vector<VT> vals;
+
+  for (IT j = 0; j < ncols; ++j) {
+    touched.clear();
+    const auto bk = b.col_rows(j);
+    const auto bv = b.col_vals(j);
+    for (std::size_t p = 0; p < bk.size(); ++p) {
+      const IT k = bk[p];
+      const VT scale = bv[p];
+      const auto ar = a.col_rows(k);
+      const auto av = a.col_vals(k);
+      for (std::size_t q = 0; q < ar.size(); ++q) {
+        const auto r = static_cast<std::size_t>(ar[q]);
+        const VT product = SR::multiply(av[q], scale);
+        if (!occupied[r]) {
+          occupied[r] = true;
+          accum[r] = product;
+          touched.push_back(ar[q]);
+        } else {
+          accum[r] = SR::add(accum[r], product);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (IT r : touched) {
+      rowids.push_back(r);
+      vals.push_back(accum[static_cast<std::size_t>(r)]);
+      occupied[static_cast<std::size_t>(r)] = false;
+      accum[static_cast<std::size_t>(r)] = SR::add_identity();
+    }
+    colptr[static_cast<std::size_t>(j) + 1] = static_cast<IT>(rowids.size());
+  }
+  return sparse::Csc<IT, VT>(nrows, ncols, std::move(colptr),
+                             std::move(rowids), std::move(vals));
+}
+
+}  // namespace mclx::spgemm

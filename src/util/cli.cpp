@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mclx::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "mclx";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag => boolean
+    }
+  }
+}
+
+std::string Cli::get(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  docs_.push_back({name, def, help});
+  consumed_.push_back(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  const std::string v = get(name, std::to_string(def), help);
+  return std::stoll(v);
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& help) {
+  const std::string v = get(name, std::to_string(def), help);
+  return std::stod(v);
+}
+
+bool Cli::get_bool(const std::string& name, bool def,
+                   const std::string& help) {
+  const std::string v = get(name, def ? "true" : "false", help);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream oss;
+  oss << "usage: " << program_ << " [flags]\n";
+  for (const auto& d : docs_) {
+    oss << "  --" << d.name << " (default: " << d.def << ")";
+    if (!d.help.empty()) oss << "  " << d.help;
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void Cli::finish() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(consumed_.begin(), consumed_.end(), name) ==
+        consumed_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+  }
+}
+
+}  // namespace mclx::util

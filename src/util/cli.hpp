@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for examples and benches.
+// Accepts "--name value" and "--name=value"; unknown flags are an error so
+// typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mclx::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Registers a flag with a default; returns the parsed or default value.
+  std::string get(const std::string& name, const std::string& def,
+                  const std::string& help = {});
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help = {});
+  double get_double(const std::string& name, double def,
+                    const std::string& help = {});
+  bool get_bool(const std::string& name, bool def,
+                const std::string& help = {});
+
+  /// True when --help was passed; callers should print usage() and exit.
+  bool help_requested() const { return help_; }
+  std::string usage() const;
+
+  /// Call after all get*() registrations: errors out (throws
+  /// std::invalid_argument) on flags that were passed but never registered.
+  void finish() const;
+
+ private:
+  struct FlagDoc {
+    std::string name, def, help;
+  };
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<FlagDoc> docs_;
+  mutable std::vector<std::string> consumed_;
+  bool help_ = false;
+};
+
+}  // namespace mclx::util

@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+namespace mclx::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+LogLevel parse_log_level(std::string_view text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+void log_message(LogLevel level, std::string_view msg) {
+  if (level < g_level) return;
+  std::cerr << "[mclx " << level_tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace mclx::util

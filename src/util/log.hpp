@@ -1,0 +1,51 @@
+// Minimal leveled logger. Single-threaded by design (the simulator runs
+// ranks cooperatively on one OS thread); benches and examples use it for
+// progress lines that should not pollute machine-readable table output
+// (tables go to stdout, log lines to stderr).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mclx::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+LogLevel parse_log_level(std::string_view text);
+
+void log_message(LogLevel level, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_message(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace mclx::util

@@ -1,0 +1,102 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Everything in mclx that needs randomness (generators, the Cohen
+// estimator's exponential keys) takes an explicit seed so runs are
+// reproducible bit-for-bit. We use SplitMix64 for seeding and
+// xoshiro256** for the stream; both are tiny, well-studied, and much
+// faster than std::mt19937_64.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mclx::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into stream state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference design).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in (0, 1] — safe as input to log().
+  double uniform_pos() { return 1.0 - uniform(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda), via inverse transform.
+  /// The Cohen estimator draws its keys from Exp(1).
+  double exponential(double lambda = 1.0) {
+    return -std::log(uniform_pos()) / lambda;
+  }
+
+  /// Standard normal via Marsaglia polar method (no trig).
+  double normal() {
+    for (;;) {
+      const double u = 2.0 * uniform() - 1.0;
+      const double v = 2.0 * uniform() - 1.0;
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derive an independent sub-stream seed (e.g. one per simulated rank).
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return splitmix64(s);
+}
+
+}  // namespace mclx::util

@@ -1,0 +1,33 @@
+// Small statistics helpers shared by the estimator evaluation and the
+// bench harnesses (relative errors, summaries over iteration series).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mclx::util {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);  // sample stddev (n-1)
+double median(std::vector<double> xs);         // by value: sorts a copy
+double percentile(std::vector<double> xs, double p);  // p in [0,100]
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// |estimate - exact| / exact, in percent; 0 if exact == 0 && estimate == 0.
+double relative_error_pct(double estimate, double exact);
+
+/// Geometric mean of positive values (0 on empty input).
+double geomean(const std::vector<double>& xs);
+
+/// Parallel efficiency of a strong-scaling series: t0*n0 / (t*n).
+double parallel_efficiency(double t_base, double nodes_base, double t,
+                           double nodes);
+
+struct Summary {
+  double mean = 0, stddev = 0, min = 0, max = 0, median = 0;
+  std::size_t n = 0;
+};
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace mclx::util

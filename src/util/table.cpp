@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mclx::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::row: cell count " +
+                                std::to_string(cells.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  // Column widths = max over header and all rows.
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << "  " << std::left << std::setw(static_cast<int>(widths[i]))
+         << cells[i];
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+
+  if (!title_.empty()) {
+    os << '\n' << title_ << '\n' << std::string(total, '=') << '\n';
+  }
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+  for (const auto& n : notes_) os << "  * " << n << '\n';
+  os << std::flush;
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string Table::fmt_int(long long value) { return std::to_string(value); }
+
+std::string Table::fmt_pct(double value, int precision) {
+  return fmt(value, precision) + "%";
+}
+
+std::string Table::fmt_speedup(double value, int precision) {
+  return fmt(value, precision) + "x";
+}
+
+}  // namespace mclx::util

@@ -1,0 +1,42 @@
+// Aligned plain-text table printer used by every bench binary so the
+// regenerated tables/figures read like the paper's (fixed columns, a
+// title row, optional footnote lines). Output is also easy to diff.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mclx::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row; defines the column count.
+  Table& header(std::vector<std::string> names);
+
+  /// Appends a data row; must match the header width (throws otherwise).
+  Table& row(std::vector<std::string> cells);
+
+  /// Appends a free-form footnote printed under the table.
+  Table& note(std::string text);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Format helpers: fixed-point and scientific with sane defaults.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_int(long long value);
+  static std::string fmt_pct(double value, int precision = 0);
+  static std::string fmt_speedup(double value, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace mclx::util

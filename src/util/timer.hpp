@@ -1,0 +1,46 @@
+// Wall-clock timer for measuring *real* kernel time (used by benches to
+// report measured work next to the simulator's virtual time, so cost-model
+// drift stays visible).
+#pragma once
+
+#include <chrono>
+
+namespace mclx::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across start/stop pairs (e.g. one phase measured over
+/// many MCL iterations).
+class AccumTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.elapsed_s();
+    running_ = false;
+  }
+  double total_s() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace mclx::util

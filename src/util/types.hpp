@@ -1,0 +1,25 @@
+// Fixed scalar types used by the concrete (distributed / core / sim) layers.
+//
+// Local sparse formats and kernels are templated over (index, value) and can
+// be instantiated with narrower types; everything above the local-kernel
+// layer uses these aliases so the library composes without template plumbing.
+#pragma once
+
+#include <cstdint>
+
+namespace mclx {
+
+/// Global vertex / row / column index. 64-bit: the paper's graphs reach
+/// 383M vertices and 68B edges, so 32-bit global indices would overflow.
+using vidx_t = std::int64_t;
+
+/// Nonzero value type. MCL operates on column-stochastic matrices in double.
+using val_t = double;
+
+/// Byte counts (memory accounting, transfer sizes).
+using bytes_t = std::uint64_t;
+
+/// Virtual time in seconds on the simulated machine.
+using vtime_t = double;
+
+}  // namespace mclx

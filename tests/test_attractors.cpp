@@ -1,0 +1,142 @@
+// Attractor-based interpretation: agreement with connected components on
+// converged matrices, attractor detection, overlap reporting, and
+// degenerate cases.
+#include <gtest/gtest.h>
+
+#include "core/attractors.hpp"
+#include "core/hipmcl.hpp"
+#include "core/interpret.hpp"
+#include "dist/cc.hpp"
+#include "gen/planted.hpp"
+#include "sim/machine.hpp"
+#include "sparse/convert.hpp"
+
+namespace {
+
+using namespace mclx;
+using dist::DistMat;
+using dist::ProcGrid;
+using T = sparse::Triples<vidx_t, val_t>;
+
+/// A hand-built converged matrix: two attractor systems with satellites.
+///  - vertex 0: attractor of cluster A; vertices 1,2 flow fully to 0.
+///  - vertices 3,4: a two-attractor system (flow between each other and
+///    themselves); vertex 5 flows to 3.
+DistMat converged_example(int ranks) {
+  T t(6, 6);
+  t.push(0, 0, 1.0);  // attractor A
+  t.push(0, 1, 1.0);  // 1 -> 0
+  t.push(0, 2, 1.0);  // 2 -> 0
+  t.push(3, 3, 0.5);  // attractor system {3,4}
+  t.push(4, 3, 0.5);
+  t.push(3, 4, 0.5);
+  t.push(4, 4, 0.5);
+  t.push(3, 5, 1.0);  // 5 -> 3
+  t.sort_and_combine();
+  return DistMat::from_triples(t, ProcGrid(ranks));
+}
+
+TEST(Attractors, DetectsAttractorsAndSystems) {
+  const DistMat m = converged_example(4);
+  const auto r = core::interpret_attractors(m);
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_TRUE(r.is_attractor[0]);
+  EXPECT_FALSE(r.is_attractor[1]);
+  EXPECT_TRUE(r.is_attractor[3]);
+  EXPECT_TRUE(r.is_attractor[4]);
+  // Cluster membership.
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[0], r.labels[2]);
+  EXPECT_EQ(r.labels[3], r.labels[4]);
+  EXPECT_EQ(r.labels[3], r.labels[5]);
+  EXPECT_NE(r.labels[0], r.labels[3]);
+  EXPECT_TRUE(r.overlapping.empty());
+}
+
+TEST(Attractors, ReportsOverlap) {
+  // Vertex 2 flows half to attractor 0, half to attractor 1.
+  T t(3, 3);
+  t.push(0, 0, 1.0);
+  t.push(1, 1, 1.0);
+  t.push(0, 2, 0.6);
+  t.push(1, 2, 0.4);
+  t.sort_and_combine();
+  const DistMat m = DistMat::from_triples(t, ProcGrid(1));
+  const auto r = core::interpret_attractors(m);
+  EXPECT_EQ(r.num_clusters, 2);
+  ASSERT_EQ(r.overlapping.size(), 1u);
+  EXPECT_EQ(r.overlapping[0], 2);
+  // Assigned to the stronger side.
+  EXPECT_EQ(r.labels[2], r.labels[0]);
+}
+
+TEST(Attractors, IsolatedResidueGetsOwnCluster) {
+  T t(2, 2);
+  t.push(0, 0, 1.0);  // attractor
+  // vertex 1 has no flow at all (empty column).
+  const DistMat m = DistMat::from_triples(t, ProcGrid(1));
+  const auto r = core::interpret_attractors(m);
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_NE(r.labels[0], r.labels[1]);
+}
+
+TEST(Attractors, AgreesWithComponentsOnConvergedMcl) {
+  gen::PlantedParams gp;
+  gp.n = 250;
+  gp.seed = 71;
+  const auto g = gen::planted_partition(gp);
+  core::MclParams params;
+  params.prune.select_k = 30;
+  sim::SimState sim(sim::summit_like(4));
+  core::HipMclConfig config = core::HipMclConfig::optimized();
+  config.keep_final_matrix = true;
+  const auto mcl = core::run_hipmcl(g.edges, params, config, sim);
+  ASSERT_TRUE(mcl.converged);
+  ASSERT_TRUE(mcl.final_matrix.has_value());
+
+  // Both interpreters on the converged matrix must induce the same
+  // partition (pair relation), up to label renaming.
+  const auto at = core::interpret_attractors(*mcl.final_matrix);
+  EXPECT_EQ(at.num_clusters, mcl.num_clusters);
+  // Compare pair relations on a deterministic vertex sample.
+  for (std::size_t u = 0; u < mcl.labels.size(); u += 7) {
+    for (std::size_t v = u + 1; v < mcl.labels.size(); v += 13) {
+      EXPECT_EQ(mcl.labels[u] == mcl.labels[v], at.labels[u] == at.labels[v])
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(Attractors, MatchesComponentsOnHandMatrix) {
+  const DistMat m = converged_example(4);
+  sim::SimState sim(sim::summit_like(4));
+  const auto cc = dist::connected_components(m, sim);
+  const auto at = core::interpret_attractors(m);
+  // Same partition (components treat the pattern symmetrically; this
+  // matrix's flow graph has the same connectivity).
+  ASSERT_EQ(cc.num_components, at.num_clusters);
+  for (std::size_t u = 0; u < cc.labels.size(); ++u) {
+    for (std::size_t v = u + 1; v < cc.labels.size(); ++v) {
+      EXPECT_EQ(cc.labels[u] == cc.labels[v], at.labels[u] == at.labels[v])
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(Attractors, RejectsRectangular) {
+  const DistMat m(3, 4, ProcGrid(1));
+  EXPECT_THROW(core::interpret_attractors(m), std::invalid_argument);
+}
+
+TEST(Attractors, DiagonalThresholdRespected) {
+  T t(2, 2);
+  t.push(0, 0, 1e-12);  // below threshold: not an attractor
+  t.push(1, 1, 0.5);
+  t.sort_and_combine();
+  const DistMat m = DistMat::from_triples(t, ProcGrid(1));
+  const auto r = core::interpret_attractors(m, 1e-8);
+  EXPECT_FALSE(r.is_attractor[0]);
+  EXPECT_TRUE(r.is_attractor[1]);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Checkpoint / restart: format round trip, crash-safe rename, chunked
+// execution equivalence, and interrupted-run resume.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/checkpoint.hpp"
+#include "gen/planted.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace mclx;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+gen::PlantedGraph test_graph(std::uint64_t seed) {
+  gen::PlantedParams gp;
+  gp.n = 200;
+  gp.seed = seed;
+  return gen::planted_partition(gp);
+}
+
+core::MclParams test_params() {
+  core::MclParams p;
+  p.prune.select_k = 25;
+  return p;
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const auto g = test_graph(101);
+  const std::string path = temp_path("ckp_roundtrip.bin");
+  core::Checkpoint cp{g.edges, 7};
+  core::save_checkpoint(path, cp);
+  const auto back = core::load_checkpoint(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->completed_iterations, 7);
+  EXPECT_EQ(back->matrix, g.edges);
+}
+
+TEST(Checkpoint, MissingFileIsFreshStart) {
+  EXPECT_FALSE(core::load_checkpoint(temp_path("ckp_missing.bin")));
+}
+
+TEST(Checkpoint, CorruptFileThrows) {
+  const std::string path = temp_path("ckp_corrupt.bin");
+  std::ofstream(path) << "definitely not a checkpoint";
+  EXPECT_THROW(core::load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, NoTempFileLeftBehind) {
+  const auto g = test_graph(102);
+  const std::string path = temp_path("ckp_tmpfree.bin");
+  core::save_checkpoint(path, {g.edges, 1});
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(Checkpoint, ChunkedRunMatchesMonolithic) {
+  const auto g = test_graph(103);
+  const auto params = test_params();
+
+  sim::SimState s1(sim::summit_like(4));
+  const auto plain = core::run_hipmcl(g.edges, params,
+                                      core::HipMclConfig::optimized(), s1);
+
+  sim::SimState s2(sim::summit_like(4));
+  const std::string path = temp_path("ckp_chunked.bin");
+  const auto chunked = core::run_hipmcl_checkpointed(
+      g.edges, params, core::HipMclConfig::optimized(), s2, path,
+      /*every=*/3);
+
+  EXPECT_EQ(plain.labels, chunked.labels);
+  EXPECT_EQ(plain.iterations, chunked.iterations);
+  EXPECT_TRUE(chunked.converged);
+  // Checkpoint file reflects the completed run.
+  const auto cp = core::load_checkpoint(path);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->completed_iterations, chunked.iterations);
+}
+
+TEST(Checkpoint, ResumesAfterInterruption) {
+  const auto g = test_graph(104);
+  const auto params = test_params();
+  const std::string path = temp_path("ckp_resume.bin");
+
+  // Reference: uninterrupted run.
+  sim::SimState s0(sim::summit_like(4));
+  const auto reference = core::run_hipmcl(g.edges, params,
+                                          core::HipMclConfig::optimized(),
+                                          s0);
+
+  // "Crash" after 4 iterations: cap max_iters.
+  core::MclParams first_leg = params;
+  first_leg.max_iters = 4;
+  sim::SimState s1(sim::summit_like(4));
+  const auto partial = core::run_hipmcl_checkpointed(
+      g.edges, first_leg, core::HipMclConfig::optimized(), s1, path, 2);
+  EXPECT_FALSE(partial.converged);
+  EXPECT_EQ(partial.iterations, 4);
+
+  // Restart with the full budget: must resume, not redo.
+  sim::SimState s2(sim::summit_like(4));
+  const auto resumed = core::run_hipmcl_checkpointed(
+      g.edges, params, core::HipMclConfig::optimized(), s2, path, 2);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.iterations, reference.iterations - 4);
+  EXPECT_EQ(resumed.labels, reference.labels);
+}
+
+TEST(Checkpoint, InvalidEveryThrows) {
+  const auto g = test_graph(105);
+  sim::SimState sim(sim::summit_like(4));
+  EXPECT_THROW(core::run_hipmcl_checkpointed(
+                   g.edges, {}, core::HipMclConfig::optimized(), sim,
+                   temp_path("ckp_bad.bin"), 0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Cohen estimator: statistical accuracy against the exact symbolic count
+// (improving with the number of keys, §V / Fig 6) and the phase planner's
+// arithmetic and guard rails.
+#include <gtest/gtest.h>
+
+#include "estimate/cohen.hpp"
+#include "estimate/planner.hpp"
+#include "sparse/convert.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+using T = sparse::Triples<vidx_t, val_t>;
+
+C random_csc(vidx_t n, double density, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  T t(n, n);
+  const auto entries = static_cast<std::uint64_t>(
+      density * static_cast<double>(n) * static_cast<double>(n));
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(n)),
+                     static_cast<vidx_t>(rng.bounded(n)), rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  return sparse::csc_from_triples(std::move(t));
+}
+
+double mean_rel_error(const C& a, const C& b, int keys, int trials) {
+  const double exact = static_cast<double>(spgemm::symbolic_nnz(a, b));
+  std::vector<double> errs;
+  for (int t = 0; t < trials; ++t) {
+    const auto est = estimate::cohen_nnz_estimate(
+        a, b, keys, util::derive_seed(999, static_cast<std::uint64_t>(t)));
+    errs.push_back(util::relative_error_pct(est.total, exact));
+  }
+  return util::mean(errs);
+}
+
+TEST(Cohen, EstimateWithinStatisticalBound) {
+  const C a = random_csc(150, 0.05, 1);
+  // r=10 keys: mean relative error should sit well under 20% (paper sees
+  // <10% by r=10; leave slack for the small-matrix regime).
+  EXPECT_LT(mean_rel_error(a, a, 10, 8), 20.0);
+}
+
+TEST(Cohen, MoreKeysReduceError) {
+  const C a = random_csc(120, 0.06, 2);
+  const double e3 = mean_rel_error(a, a, 3, 12);
+  const double e20 = mean_rel_error(a, a, 20, 12);
+  EXPECT_LT(e20, e3);
+}
+
+TEST(Cohen, PerColumnEstimatesSumToTotal) {
+  const C a = random_csc(80, 0.05, 3);
+  const auto est = estimate::cohen_nnz_estimate(a, a, 5, 7);
+  double sum = 0;
+  for (const double c : est.per_col) sum += c;
+  EXPECT_NEAR(sum, est.total, 1e-9);
+  EXPECT_EQ(est.keys, 5);
+}
+
+TEST(Cohen, UnreachableColumnsEstimateZero) {
+  // B column with no nonzeros -> no reachable rows -> estimate 0.
+  T ta(5, 5);
+  ta.push(0, 0, 1.0);
+  T tb(5, 3);
+  tb.push(0, 0, 1.0);  // cols 1, 2 empty
+  const C a = sparse::csc_from_triples(ta);
+  const C b = sparse::csc_from_triples(tb);
+  const auto est = estimate::cohen_nnz_estimate(a, b, 5, 11);
+  EXPECT_GT(est.per_col[0], 0.0);
+  EXPECT_DOUBLE_EQ(est.per_col[1], 0.0);
+  EXPECT_DOUBLE_EQ(est.per_col[2], 0.0);
+}
+
+TEST(Cohen, DeterministicForSameSeed) {
+  const C a = random_csc(60, 0.08, 4);
+  const auto e1 = estimate::cohen_nnz_estimate(a, a, 5, 42);
+  const auto e2 = estimate::cohen_nnz_estimate(a, a, 5, 42);
+  EXPECT_EQ(e1.total, e2.total);
+}
+
+TEST(Cohen, SingleKeyRejected) {
+  const C a = random_csc(10, 0.2, 5);
+  EXPECT_THROW(estimate::cohen_nnz_estimate(a, a, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Cohen, DimensionMismatchThrows) {
+  const C a = random_csc(10, 0.2, 6);
+  const C b = random_csc(12, 0.2, 7);
+  EXPECT_THROW(estimate::cohen_nnz_estimate(a, b, 3, 1),
+               std::invalid_argument);
+}
+
+TEST(Cohen, DenseColumnEstimateApproachesRowCount) {
+  // If every row reaches column j, the estimate should be near nrows.
+  const vidx_t n = 200;
+  T ta(n, 1);
+  for (vidx_t r = 0; r < n; ++r) ta.push(r, 0, 1.0);
+  T tb(1, 1);
+  tb.push(0, 0, 1.0);
+  const C a = sparse::csc_from_triples(ta);
+  const C b = sparse::csc_from_triples(tb);
+  std::vector<double> ests;
+  for (int t = 0; t < 20; ++t) {
+    ests.push_back(estimate::cohen_nnz_estimate(
+                       a, b, 10, static_cast<std::uint64_t>(t))
+                       .total);
+  }
+  EXPECT_NEAR(util::mean(ests), static_cast<double>(n),
+              0.25 * static_cast<double>(n));
+}
+
+TEST(Planner, SinglePhaseWhenMemoryAmple) {
+  estimate::PhasePlanInput in;
+  in.est_output_nnz = 1000;
+  in.ncols_global = 100;
+  in.grid_dim = 2;
+  in.mem_budget_per_rank = 1 << 30;
+  const auto plan = estimate::plan_phases(in);
+  EXPECT_EQ(plan.phases, 1);
+  EXPECT_EQ(plan.batch_cols, 100);
+}
+
+TEST(Planner, PhasesScaleWithOutputSize) {
+  estimate::PhasePlanInput in;
+  in.ncols_global = 1000;
+  in.grid_dim = 2;
+  in.mem_budget_per_rank = 4096;
+  in.guard_factor = 1.0;
+  in.bytes_per_nnz = 16;
+  // Per rank: 4096 nnz * 16 B / 4 ranks = 16384 B vs a 4096 B budget.
+  in.est_output_nnz = 4096;  // ceil(16384 / 4096) = 4 phases
+  const auto plan = estimate::plan_phases(in);
+  EXPECT_EQ(plan.phases, 4);
+  EXPECT_EQ(plan.batch_cols, 250);
+}
+
+TEST(Planner, GuardFactorAddsHeadroom) {
+  estimate::PhasePlanInput in;
+  in.ncols_global = 100;
+  in.grid_dim = 1;
+  in.mem_budget_per_rank = 1600;
+  in.bytes_per_nnz = 16;
+  in.est_output_nnz = 100;  // exactly fills the budget at guard 1.0
+  in.guard_factor = 1.0;
+  EXPECT_EQ(estimate::plan_phases(in).phases, 1);
+  in.guard_factor = 0.5;  // usable halves -> needs 2 phases
+  EXPECT_EQ(estimate::plan_phases(in).phases, 2);
+}
+
+TEST(Planner, PhasesCappedByColumns) {
+  estimate::PhasePlanInput in;
+  in.ncols_global = 4;
+  in.grid_dim = 2;
+  in.mem_budget_per_rank = 16;  // absurdly tight
+  in.est_output_nnz = 1e9;
+  const auto plan = estimate::plan_phases(in);
+  EXPECT_LE(plan.phases, 2);  // cols per grid column = 2
+  EXPECT_GE(plan.batch_cols, 1);
+}
+
+TEST(Planner, DegenerateInputsThrow) {
+  estimate::PhasePlanInput in;
+  in.ncols_global = 0;
+  in.mem_budget_per_rank = 100;
+  EXPECT_THROW(estimate::plan_phases(in), std::invalid_argument);
+  in.ncols_global = 10;
+  in.mem_budget_per_rank = 0;
+  EXPECT_THROW(estimate::plan_phases(in), std::invalid_argument);
+  in.mem_budget_per_rank = 100;
+  in.guard_factor = 0;
+  EXPECT_THROW(estimate::plan_phases(in), std::invalid_argument);
+  in.guard_factor = 0.5;
+  in.grid_dim = 0;
+  EXPECT_THROW(estimate::plan_phases(in), std::invalid_argument);
+}
+
+TEST(Planner, ZeroEstimateMeansOnePhase) {
+  estimate::PhasePlanInput in;
+  in.est_output_nnz = 0;
+  in.ncols_global = 50;
+  in.grid_dim = 1;
+  in.mem_budget_per_rank = 1024;
+  EXPECT_EQ(estimate::plan_phases(in).phases, 1);
+}
+
+}  // namespace

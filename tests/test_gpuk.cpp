@@ -1,0 +1,223 @@
+// Simulated-GPU tests: the three device kernels' numerical equivalence to
+// the SPA reference (parameterized), device-memory accounting and OOM,
+// the dispatcher's cost reporting, and multi-GPU column splitting.
+#include <gtest/gtest.h>
+
+#include "gpuk/device.hpp"
+#include "gpuk/esc.hpp"
+#include "gpuk/gpu_kernels.hpp"
+#include "gpuk/multigpu.hpp"
+#include "gpuk/rmerge.hpp"
+#include "sim/costmodel.hpp"
+#include "sim/machine.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/spa.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+using T = sparse::Triples<vidx_t, val_t>;
+
+C random_csc(vidx_t nrows, vidx_t ncols, double density, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  T t(nrows, ncols);
+  const auto entries = static_cast<std::uint64_t>(
+      density * static_cast<double>(nrows) * static_cast<double>(ncols));
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(nrows)),
+                     static_cast<vidx_t>(rng.bounded(ncols)),
+                     rng.uniform() * 2 - 1);
+  }
+  t.sort_and_combine();
+  return sparse::csc_from_triples(std::move(t));
+}
+
+sim::CostModel model() { return sim::CostModel(sim::summit_like(4)); }
+
+struct Case {
+  std::string name;
+  vidx_t m, k, n;
+  double da, db;
+  std::uint64_t seed;
+};
+
+class GpuKernelEquivalence : public testing::TestWithParam<Case> {};
+
+TEST_P(GpuKernelEquivalence, EscMatchesSpa) {
+  const auto& c = GetParam();
+  const C a = random_csc(c.m, c.k, c.da, c.seed);
+  const C b = random_csc(c.k, c.n, c.db, c.seed + 1);
+  const C ref = spgemm::spa_spgemm(a, b);
+  EXPECT_TRUE(sparse::approx_equal(ref, gpuk::esc_spgemm(a, b)));
+}
+
+TEST_P(GpuKernelEquivalence, RmergeMatchesSpa) {
+  const auto& c = GetParam();
+  const C a = random_csc(c.m, c.k, c.da, c.seed);
+  const C b = random_csc(c.k, c.n, c.db, c.seed + 1);
+  const C ref = spgemm::spa_spgemm(a, b);
+  EXPECT_TRUE(sparse::approx_equal(ref, gpuk::rmerge_spgemm(a, b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GpuKernelEquivalence,
+    testing::Values(Case{"small", 20, 20, 20, 0.2, 0.2, 1},
+                    Case{"dense", 50, 50, 50, 0.3, 0.3, 2},
+                    Case{"sparse", 200, 200, 200, 0.01, 0.01, 3},
+                    Case{"rect", 60, 30, 90, 0.1, 0.15, 4},
+                    Case{"one_col", 40, 40, 1, 0.2, 0.6, 5},
+                    Case{"empty", 30, 30, 30, 0.0, 0.1, 6}),
+    [](const testing::TestParamInfo<Case>& info) { return info.param.name; });
+
+TEST(GpuDevice, AllocFreeAccounting) {
+  gpuk::GpuDevice dev(1000);
+  dev.alloc(400);
+  EXPECT_EQ(dev.used(), 400u);
+  EXPECT_EQ(dev.available(), 600u);
+  dev.free(150);
+  EXPECT_EQ(dev.used(), 250u);
+}
+
+TEST(GpuDevice, OomThrowsWithDetail) {
+  gpuk::GpuDevice dev(100);
+  dev.alloc(80);
+  try {
+    dev.alloc(50);
+    FAIL() << "expected GpuOom";
+  } catch (const gpuk::GpuOom& oom) {
+    EXPECT_EQ(oom.requested(), 50u);
+    EXPECT_EQ(oom.available(), 20u);
+  }
+}
+
+TEST(GpuDevice, ReservationIsRaii) {
+  gpuk::GpuDevice dev(1000);
+  {
+    gpuk::GpuDevice::Reservation r(dev, 600);
+    EXPECT_EQ(dev.used(), 600u);
+  }
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(GpuDevice, FreeClampsAtZero) {
+  gpuk::GpuDevice dev(100);
+  dev.alloc(10);
+  dev.free(500);  // over-free must not wrap
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(GpuDispatch, ComputesCorrectProductAndCosts) {
+  const C a = random_csc(40, 40, 0.2, 7);
+  const C b = random_csc(40, 40, 0.2, 8);
+  gpuk::GpuDevice dev(sim::summit_like(4).gpu_mem);
+  const auto m = model();
+  const auto r =
+      gpuk::run_gpu_spgemm(spgemm::KernelKind::kGpuNsparse, a, b, dev, m);
+  EXPECT_TRUE(sparse::approx_equal(spgemm::spa_spgemm(a, b), r.c));
+  EXPECT_GT(r.flops, 0u);
+  EXPECT_GE(r.cf, 1.0);
+  EXPECT_GT(r.cost.h2d, 0.0);
+  EXPECT_GT(r.cost.kernel, 0.0);
+  EXPECT_GT(r.cost.d2h, 0.0);
+  EXPECT_EQ(r.cost.bytes_in, a.bytes() + b.bytes());
+  EXPECT_EQ(r.cost.bytes_out, r.c.bytes());
+  // Reservation released after the call.
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(GpuDispatch, RejectsCpuKernel) {
+  const C a = random_csc(10, 10, 0.2, 9);
+  gpuk::GpuDevice dev(1 << 20);
+  const auto m = model();
+  EXPECT_THROW(
+      gpuk::run_gpu_spgemm(spgemm::KernelKind::kCpuHash, a, a, dev, m),
+      std::invalid_argument);
+}
+
+TEST(GpuDispatch, TinyDeviceOoms) {
+  const C a = random_csc(100, 100, 0.3, 10);
+  gpuk::GpuDevice dev(64);  // 64 bytes: nothing fits
+  const auto m = model();
+  EXPECT_THROW(
+      gpuk::run_gpu_spgemm(spgemm::KernelKind::kGpuBhsparse, a, a, dev, m),
+      gpuk::GpuOom);
+  EXPECT_EQ(dev.used(), 0u);  // failed reservation leaves no leak
+}
+
+TEST(GpuDispatch, EscWorkspaceLargerThanHash) {
+  // ESC materializes all intermediate products; its working set must
+  // exceed nsparse's for the same multiply.
+  const C a = random_csc(60, 60, 0.3, 11);
+  const std::uint64_t flops = sparse::spgemm_flops(a, a);
+  const auto esc = gpuk::gpu_working_set_bytes(
+      spgemm::KernelKind::kGpuBhsparse, a, a, flops, flops / 4);
+  const auto ns = gpuk::gpu_working_set_bytes(
+      spgemm::KernelKind::kGpuNsparse, a, a, flops, flops / 4);
+  EXPECT_GT(esc, ns);
+}
+
+TEST(MultiGpu, MatchesSingleDeviceResult) {
+  const C a = random_csc(50, 50, 0.15, 12);
+  const C b = random_csc(50, 50, 0.15, 13);
+  const auto m = model();
+  std::vector<gpuk::GpuDevice> devs(6, gpuk::GpuDevice(m.machine().gpu_mem));
+  const auto r =
+      gpuk::multi_gpu_spgemm(spgemm::KernelKind::kGpuNsparse, a, b, devs, m);
+  EXPECT_TRUE(sparse::approx_equal(spgemm::spa_spgemm(a, b), r.c));
+  EXPECT_EQ(r.devices_used, 6);
+  EXPECT_EQ(r.flops, sparse::spgemm_flops(a, b));
+}
+
+TEST(MultiGpu, FewerColumnsThanDevices) {
+  const C a = random_csc(30, 30, 0.3, 14);
+  const C b = random_csc(30, 2, 0.8, 15);
+  const auto m = model();
+  std::vector<gpuk::GpuDevice> devs(6, gpuk::GpuDevice(m.machine().gpu_mem));
+  const auto r =
+      gpuk::multi_gpu_spgemm(spgemm::KernelKind::kGpuRmerge2, a, b, devs, m);
+  EXPECT_TRUE(sparse::approx_equal(spgemm::spa_spgemm(a, b), r.c));
+  EXPECT_LE(r.devices_used, 2);
+}
+
+TEST(MultiGpu, CostIsMaxNotSum) {
+  // With g devices splitting columns evenly, aggregate kernel time must be
+  // close to a single device's time on 1/g of the work — far below the
+  // single-device time for the whole multiply.
+  const C a = random_csc(80, 80, 0.2, 16);
+  const C b = random_csc(80, 80, 0.2, 17);
+  const auto m = model();
+  std::vector<gpuk::GpuDevice> one(1, gpuk::GpuDevice(m.machine().gpu_mem));
+  std::vector<gpuk::GpuDevice> four(4, gpuk::GpuDevice(m.machine().gpu_mem));
+  const auto r1 =
+      gpuk::multi_gpu_spgemm(spgemm::KernelKind::kGpuNsparse, a, b, one, m);
+  const auto r4 =
+      gpuk::multi_gpu_spgemm(spgemm::KernelKind::kGpuNsparse, a, b, four, m);
+  EXPECT_LT(r4.cost.kernel, r1.cost.kernel);
+}
+
+TEST(MultiGpu, NoDevicesThrows) {
+  const C a = random_csc(10, 10, 0.2, 18);
+  const auto m = model();
+  std::vector<gpuk::GpuDevice> none;
+  EXPECT_THROW(
+      gpuk::multi_gpu_spgemm(spgemm::KernelKind::kGpuNsparse, a, a, none, m),
+      std::invalid_argument);
+}
+
+TEST(CostModel, GpuEfficiencyCurvesCrossover) {
+  // nsparse must dominate at high cf; rmerge2 must win at cf ~ 1 (§VII-B).
+  const auto m = model();
+  const double ns_hi = m.gpu_efficiency(spgemm::KernelKind::kGpuNsparse, 64);
+  const double rm_hi = m.gpu_efficiency(spgemm::KernelKind::kGpuRmerge2, 64);
+  const double bh_hi = m.gpu_efficiency(spgemm::KernelKind::kGpuBhsparse, 64);
+  EXPECT_GT(ns_hi, bh_hi);
+  EXPECT_GT(bh_hi, rm_hi);
+  const double ns_lo = m.gpu_efficiency(spgemm::KernelKind::kGpuNsparse, 1);
+  const double rm_lo = m.gpu_efficiency(spgemm::KernelKind::kGpuRmerge2, 1);
+  EXPECT_GT(rm_lo, ns_lo);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// End-to-end flows a CLI user exercises: mtx file in → prepare →
+// cluster → labels/snapshot out → reload and score. Glues io, prepare,
+// core and quality together the way hipmcl_cli does.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/local.hpp"
+#include "core/prepare.hpp"
+#include "core/quality.hpp"
+#include "gen/planted.hpp"
+#include "io/matrix_market.hpp"
+#include "io/snapshot.hpp"
+
+namespace {
+
+using namespace mclx;
+
+TEST(CliFlow, MtxRoundTripThenClusterThenSnapshot) {
+  // 1. Generate and persist a network as Matrix Market.
+  gen::PlantedParams gp;
+  gp.n = 200;
+  gp.seed = 81;
+  const auto g = gen::planted_partition(gp);
+  const std::string mtx = testing::TempDir() + "/cli_net.mtx";
+  io::write_matrix_market_file(mtx, g.edges, "cli flow test");
+
+  // 2. Read it back, prepare, cluster.
+  const auto raw = io::read_matrix_market_file(mtx);
+  core::PrepareOptions prep;  // defaults: max-symmetrize, drop self loops
+  const auto net = core::prepare_network(raw, prep);
+  core::MclParams params;
+  params.prune.select_k = 25;
+  const auto r = core::mcl_cluster(net, params);
+  EXPECT_TRUE(r.converged);
+
+  // 3. Quality against the planted truth survives the file round trip.
+  const auto q = gen::score_clustering(r.labels, g.labels);
+  EXPECT_GT(q.f1, 0.85);
+  // Modularity is structurally small when one heavy-tailed family holds
+  // much of the graph (the degree-squared null model); positive and well
+  // above the shuffled baseline is the right expectation here.
+  EXPECT_GT(core::modularity(net, r.labels), 0.05);
+
+  // 4. Snapshot the labels and reload.
+  const std::string lab = testing::TempDir() + "/cli_labels.bin";
+  io::save_labels(lab, r.labels);
+  EXPECT_EQ(io::load_labels(lab), r.labels);
+}
+
+TEST(CliFlow, PreparationIsIdempotent) {
+  gen::PlantedParams gp;
+  gp.n = 150;
+  gp.seed = 82;
+  const auto g = gen::planted_partition(gp);
+  core::PrepareOptions prep;
+  const auto once = core::prepare_network(g.edges, prep);
+  const auto twice = core::prepare_network(once, prep);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(CliFlow, PreparedAsymmetricInputClustersLikeSymmetric) {
+  // Strip one direction from a symmetric network; max-symmetrization
+  // must restore it and the clustering must match the original's.
+  gen::PlantedParams gp;
+  gp.n = 150;
+  gp.seed = 83;
+  const auto g = gen::planted_partition(gp);
+  sparse::Triples<vidx_t, val_t> one_way(g.edges.nrows(), g.edges.ncols());
+  for (const auto& e : g.edges) {
+    if (e.row < e.col) one_way.push_unchecked(e.row, e.col, e.val);
+  }
+  one_way.sort_and_combine();
+
+  core::PrepareOptions prep;
+  const auto restored = core::prepare_network(one_way, prep);
+  EXPECT_EQ(restored, core::prepare_network(g.edges, prep));
+
+  core::MclParams params;
+  params.prune.select_k = 25;
+  const auto from_restored = core::mcl_cluster(restored, params);
+  const auto from_original = core::mcl_cluster(g.edges, params);
+  EXPECT_EQ(from_restored.labels, from_original.labels);
+}
+
+TEST(CliFlow, BinarySnapshotFasterPathEquivalentToMtx) {
+  gen::PlantedParams gp;
+  gp.n = 120;
+  gp.seed = 84;
+  const auto g = gen::planted_partition(gp);
+  const std::string bin = testing::TempDir() + "/cli_net.bin";
+  io::save_triples(bin, g.edges);
+  const auto back = io::load_triples(bin);
+  core::MclParams params;
+  params.prune.select_k = 25;
+  EXPECT_EQ(core::mcl_cluster(back, params).labels,
+            core::mcl_cluster(g.edges, params).labels);
+}
+
+}  // namespace

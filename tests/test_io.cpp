@@ -1,0 +1,122 @@
+// Matrix Market IO: round trips, header variants (pattern / integer /
+// symmetric), and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mclx;
+using io::MmTriples;
+
+MmTriples random_matrix(vidx_t n, int entries, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  MmTriples t(n, n);
+  for (int e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(n)),
+                     static_cast<vidx_t>(rng.bounded(n)), rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const MmTriples m = random_matrix(40, 200, 1);
+  std::stringstream ss;
+  io::write_matrix_market(ss, m, "round trip test");
+  const MmTriples back = io::read_matrix_market(ss);
+  EXPECT_EQ(back.nrows(), m.nrows());
+  EXPECT_EQ(back.ncols(), m.ncols());
+  ASSERT_EQ(back.nnz(), m.nnz());
+  for (std::size_t i = 0; i < m.nnz(); ++i) {
+    EXPECT_EQ(back.data()[i].row, m.data()[i].row);
+    EXPECT_EQ(back.data()[i].col, m.data()[i].col);
+    EXPECT_DOUBLE_EQ(back.data()[i].val, m.data()[i].val);
+  }
+}
+
+TEST(MatrixMarket, ReadsPatternAsOnes) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate pattern general\n"
+                       "3 3 2\n1 2\n3 1\n");
+  const MmTriples m = io::read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 2u);
+  for (const auto& t : m) EXPECT_DOUBLE_EQ(t.val, 1.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real symmetric\n"
+                       "3 3 2\n2 1 5.0\n3 3 7.0\n");
+  const MmTriples m = io::read_matrix_market(ss);
+  // Off-diagonal mirrored; diagonal not duplicated.
+  EXPECT_EQ(m.nnz(), 3u);
+}
+
+TEST(MatrixMarket, ReadsIntegerField) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate integer general\n"
+                       "2 2 1\n1 1 3\n");
+  const MmTriples m = io::read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(m.data()[0].val, 3.0);
+}
+
+TEST(MatrixMarket, SkipsComments) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                       "% a comment\n% another\n"
+                       "2 2 1\n2 2 4.5\n");
+  const MmTriples m = io::read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.data()[0].val, 4.5);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::stringstream ss("2 2 1\n1 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n");
+  EXPECT_THROW(io::read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                       "2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                       "2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsMissingValue) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                       "2 2 1\n1 1\n");
+  EXPECT_THROW(io::read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const MmTriples m = random_matrix(10, 30, 2);
+  const std::string path = testing::TempDir() + "/mclx_io_test.mtx";
+  io::write_matrix_market_file(path, m);
+  const MmTriples back = io::read_matrix_market_file(path);
+  EXPECT_EQ(back.nnz(), m.nnz());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(io::read_matrix_market_file("/nonexistent/nope.mtx"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, OneBasedIndexingOnDisk) {
+  MmTriples m(2, 2);
+  m.push(0, 0, 1.0);
+  std::stringstream ss;
+  io::write_matrix_market(ss, m);
+  EXPECT_NE(ss.str().find("\n1 1 1"), std::string::npos);
+}
+
+}  // namespace

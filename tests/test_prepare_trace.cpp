@@ -1,0 +1,214 @@
+// Input preparation (symmetrization rules, transforms, self loops) and
+// the event-log / Chrome-trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/prepare.hpp"
+#include "dist/summa.hpp"
+#include "sim/eventlog.hpp"
+#include "sim/machine.hpp"
+#include "sim/timeline.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mclx;
+using T = sparse::Triples<vidx_t, val_t>;
+
+val_t weight_of(const T& t, vidx_t r, vidx_t c) {
+  for (const auto& e : t) {
+    if (e.row == r && e.col == c) return e.val;
+  }
+  return 0;
+}
+
+TEST(Prepare, MaxRuleTakesStrongerDirection) {
+  T raw(4, 4);
+  raw.push(0, 1, 3.0);
+  raw.push(1, 0, 5.0);  // stronger
+  raw.push(2, 3, 2.0);  // one-directional
+  core::PrepareOptions opt;
+  opt.symmetrize = core::SymmetrizeRule::kMax;
+  const T net = core::prepare_network(raw, opt);
+  EXPECT_DOUBLE_EQ(weight_of(net, 0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(weight_of(net, 1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(weight_of(net, 2, 3), 2.0);
+  EXPECT_DOUBLE_EQ(weight_of(net, 3, 2), 2.0);
+}
+
+TEST(Prepare, MinRuleDropsOneSidedEdges) {
+  T raw(4, 4);
+  raw.push(0, 1, 3.0);
+  raw.push(1, 0, 5.0);
+  raw.push(2, 3, 2.0);  // one-sided: must vanish
+  core::PrepareOptions opt;
+  opt.symmetrize = core::SymmetrizeRule::kMin;
+  const T net = core::prepare_network(raw, opt);
+  EXPECT_DOUBLE_EQ(weight_of(net, 0, 1), 3.0);
+  EXPECT_EQ(weight_of(net, 2, 3), 0.0);
+  EXPECT_EQ(net.nnz(), 2u);
+}
+
+TEST(Prepare, AvgRuleAveragesPresentSides) {
+  T raw(3, 3);
+  raw.push(0, 1, 2.0);
+  raw.push(1, 0, 4.0);
+  raw.push(0, 2, 6.0);  // one side only: average of one value
+  core::PrepareOptions opt;
+  opt.symmetrize = core::SymmetrizeRule::kAvg;
+  const T net = core::prepare_network(raw, opt);
+  EXPECT_DOUBLE_EQ(weight_of(net, 0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(weight_of(net, 0, 2), 6.0);
+}
+
+TEST(Prepare, SelfLoopsDroppedByDefaultKeptOnRequest) {
+  T raw(2, 2);
+  raw.push(0, 0, 9.0);
+  raw.push(0, 1, 1.0);
+  raw.push(1, 0, 1.0);
+  core::PrepareOptions opt;
+  EXPECT_EQ(weight_of(core::prepare_network(raw, opt), 0, 0), 0.0);
+  opt.drop_self_loops = false;
+  EXPECT_DOUBLE_EQ(weight_of(core::prepare_network(raw, opt), 0, 0), 9.0);
+}
+
+TEST(Prepare, TransformsApplied) {
+  T raw(2, 2);
+  raw.push(0, 1, 3.0);
+  raw.push(1, 0, 3.0);
+  core::PrepareOptions opt;
+  opt.transform = core::ScoreTransform::kLog;
+  EXPECT_NEAR(weight_of(core::prepare_network(raw, opt), 0, 1),
+              std::log1p(3.0), 1e-12);
+  opt.transform = core::ScoreTransform::kSquare;
+  EXPECT_DOUBLE_EQ(weight_of(core::prepare_network(raw, opt), 0, 1), 9.0);
+  opt.transform = core::ScoreTransform::kBinary;
+  EXPECT_DOUBLE_EQ(weight_of(core::prepare_network(raw, opt), 0, 1), 1.0);
+}
+
+TEST(Prepare, MinScoreFloorsAfterTransform) {
+  T raw(3, 3);
+  raw.push(0, 1, 2.0);
+  raw.push(1, 0, 2.0);
+  raw.push(1, 2, 50.0);
+  raw.push(2, 1, 50.0);
+  core::PrepareOptions opt;
+  opt.transform = core::ScoreTransform::kLog;  // log1p(2)=1.1, log1p(50)=3.9
+  opt.min_score = 2.0;
+  const T net = core::prepare_network(raw, opt);
+  EXPECT_EQ(weight_of(net, 0, 1), 0.0);
+  EXPECT_GT(weight_of(net, 1, 2), 0.0);
+}
+
+TEST(Prepare, NoneRulePassesThrough) {
+  T raw(3, 3);
+  raw.push(0, 1, 2.0);  // stays asymmetric
+  core::PrepareOptions opt;
+  opt.symmetrize = core::SymmetrizeRule::kNone;
+  const T net = core::prepare_network(raw, opt);
+  EXPECT_DOUBLE_EQ(weight_of(net, 0, 1), 2.0);
+  EXPECT_EQ(weight_of(net, 1, 0), 0.0);
+}
+
+TEST(Prepare, RejectsRectangular) {
+  const T raw(3, 4);
+  EXPECT_THROW(core::prepare_network(raw, {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Event log.
+
+TEST(EventLog, DisabledByDefault) {
+  EXPECT_EQ(sim::event_log(), nullptr);
+  sim::RankTimeline tl;
+  tl.cpu_run(sim::Stage::kOther, 1.0);  // must not crash or record
+}
+
+TEST(EventLog, RecordsTimelineIntervals) {
+  sim::EventLog log;
+  {
+    sim::ScopedEventLog scope(log);
+    sim::SimState s(sim::summit_like(4));
+    s.rank(2).cpu_run(sim::Stage::kPrune, 1.5);
+    s.rank(2).gpu_run(sim::Stage::kLocalSpGEMM, 2.0, 0.5);
+  }
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].rank, 2);
+  EXPECT_EQ(log.events()[0].resource, sim::Resource::kCpu);
+  EXPECT_EQ(log.events()[0].stage, sim::Stage::kPrune);
+  EXPECT_DOUBLE_EQ(log.events()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(log.events()[0].end, 1.5);
+  EXPECT_EQ(log.events()[1].resource, sim::Resource::kGpu);
+  EXPECT_DOUBLE_EQ(log.events()[1].start, 0.5);
+  // Recording stops when the scope ends.
+  EXPECT_EQ(sim::event_log(), nullptr);
+}
+
+TEST(EventLog, ZeroDurationEventsSkipped) {
+  sim::EventLog log;
+  sim::ScopedEventLog scope(log);
+  sim::RankTimeline tl;
+  tl.cpu_run(sim::Stage::kOther, 0.0);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, CapturesWholeSumma) {
+  util::Xoshiro256 rng(61);
+  T t(30, 30);
+  for (int e = 0; e < 400; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(30)),
+                     static_cast<vidx_t>(rng.bounded(30)),
+                     rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  const dist::ProcGrid grid(4);
+  const dist::DistMat a = dist::DistMat::from_triples(t, grid);
+  sim::SimState s(sim::summit_like(4));
+
+  sim::EventLog log;
+  {
+    sim::ScopedEventLog scope(log);
+    dist::SummaOptions opt;
+    opt.pipelined = true;
+    opt.binary_merge = true;
+    dist::summa_multiply(a, a, s, opt);
+  }
+  EXPECT_GT(log.size(), 20u);  // bcasts, multiplies, merges across 4 ranks
+  bool has_gpu = false, has_bcast = false;
+  for (const auto& e : log.events()) {
+    has_gpu |= e.resource == sim::Resource::kGpu;
+    has_bcast |= e.stage == sim::Stage::kSummaBcast;
+    EXPECT_GE(e.end, e.start);
+  }
+  EXPECT_TRUE(has_gpu);
+  EXPECT_TRUE(has_bcast);
+}
+
+TEST(EventLog, ChromeTraceIsWellFormedJson) {
+  sim::EventLog log;
+  log.record({0, sim::Resource::kCpu, sim::Stage::kMerge, 0.0, 1.0});
+  log.record({1, sim::Resource::kGpu, sim::Stage::kLocalSpGEMM, 0.5, 2.0});
+  std::ostringstream oss;
+  log.write_chrome_trace(oss);
+  const std::string json = oss.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("Merging"), std::string::npos);
+  EXPECT_NE(json.find("Local SpGEMM"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  // Balanced braces (cheap sanity, the format is machine-generated).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(EventLog, ClearResets) {
+  sim::EventLog log;
+  log.record({0, sim::Resource::kCpu, sim::Stage::kOther, 0, 1});
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Quality metrics (modularity, ARI) and binary snapshot IO.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+
+#include "core/local.hpp"
+#include "core/quality.hpp"
+#include "gen/planted.hpp"
+#include "io/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mclx;
+using T = sparse::Triples<vidx_t, val_t>;
+
+TEST(Modularity, PerfectCommunitiesScoreHigh) {
+  // Two disjoint triangles, clustered correctly: modularity = 0.5.
+  T t(6, 6);
+  auto edge = [&](vidx_t u, vidx_t v) {
+    t.push(u, v, 1.0);
+    t.push(v, u, 1.0);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(2, 0);
+  edge(3, 4);
+  edge(4, 5);
+  edge(5, 3);
+  t.sort_and_combine();
+  const std::vector<vidx_t> good = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(core::modularity(t, good), 0.5, 1e-12);
+}
+
+TEST(Modularity, SingleClusterScoresZero) {
+  T t(4, 4);
+  t.push(0, 1, 1.0);
+  t.push(1, 0, 1.0);
+  t.push(2, 3, 1.0);
+  t.push(3, 2, 1.0);
+  t.sort_and_combine();
+  const std::vector<vidx_t> lump = {0, 0, 0, 0};
+  EXPECT_NEAR(core::modularity(t, lump), 0.0, 1e-12);
+}
+
+TEST(Modularity, BadSplitScoresBelowGoodSplit) {
+  gen::PlantedParams gp;
+  gp.n = 300;
+  gp.seed = 51;
+  const auto g = gen::planted_partition(gp);
+  const double good = core::modularity(g.edges, g.labels);
+  // Shuffle labels: same sizes, random assignment.
+  std::vector<vidx_t> bad = g.labels;
+  util::Xoshiro256 rng(52);
+  for (std::size_t i = bad.size(); i > 1; --i) {
+    std::swap(bad[i - 1], bad[rng.bounded(i)]);
+  }
+  EXPECT_GT(good, core::modularity(g.edges, bad) + 0.2);
+}
+
+TEST(Modularity, MclClusteringScoresWell) {
+  gen::PlantedParams gp;
+  gp.n = 250;
+  gp.seed = 53;
+  const auto g = gen::planted_partition(gp);
+  const auto r = core::mcl_cluster(g.edges);
+  EXPECT_GT(core::modularity(g.edges, r.labels), 0.3);
+}
+
+TEST(Modularity, ValidatesInputs) {
+  T rect(3, 4);
+  EXPECT_THROW(core::modularity(rect, {0, 0, 0}), std::invalid_argument);
+  T square(3, 3);
+  EXPECT_THROW(core::modularity(square, {0, 0}), std::invalid_argument);
+}
+
+TEST(Modularity, EmptyGraphIsZero) {
+  const T t(5, 5);
+  EXPECT_DOUBLE_EQ(core::modularity(t, {0, 1, 2, 3, 4}), 0.0);
+}
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<vidx_t> p = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(core::adjusted_rand_index(p, p), 1.0);
+  // Label names don't matter.
+  const std::vector<vidx_t> renamed = {5, 5, 9, 9, 7, 7};
+  EXPECT_DOUBLE_EQ(core::adjusted_rand_index(p, renamed), 1.0);
+}
+
+TEST(Ari, IndependentPartitionsNearZero) {
+  util::Xoshiro256 rng(54);
+  std::vector<vidx_t> a(2000), b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<vidx_t>(rng.bounded(5));
+    b[i] = static_cast<vidx_t>(rng.bounded(5));
+  }
+  EXPECT_NEAR(core::adjusted_rand_index(a, b), 0.0, 0.05);
+}
+
+TEST(Ari, PartialAgreementBetweenZeroAndOne) {
+  const std::vector<vidx_t> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<vidx_t> off_by_one = {0, 0, 0, 1, 1, 0};
+  const double ari = core::adjusted_rand_index(truth, off_by_one);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(Ari, SizeMismatchThrows) {
+  EXPECT_THROW(core::adjusted_rand_index({0, 1}, {0}),
+               std::invalid_argument);
+}
+
+TEST(Snapshot, TriplesRoundTrip) {
+  util::Xoshiro256 rng(55);
+  T m(40, 50);
+  for (int e = 0; e < 300; ++e) {
+    m.push_unchecked(static_cast<vidx_t>(rng.bounded(40)),
+                     static_cast<vidx_t>(rng.bounded(50)),
+                     rng.uniform() * 2 - 1);
+  }
+  m.sort_and_combine();
+  const std::string path = testing::TempDir() + "/mclx_snap.bin";
+  io::save_triples(path, m);
+  const T back = io::load_triples(path);
+  EXPECT_EQ(back, m);  // bit-exact, including values
+}
+
+TEST(Snapshot, LabelsRoundTrip) {
+  const std::vector<vidx_t> labels = {0, 5, 2, 2, 7, 1};
+  const std::string path = testing::TempDir() + "/mclx_labels.bin";
+  io::save_labels(path, labels);
+  EXPECT_EQ(io::load_labels(path), labels);
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  const std::string tri = testing::TempDir() + "/mclx_tri.bin";
+  io::save_triples(tri, T(2, 2));
+  EXPECT_THROW(io::load_labels(tri), std::runtime_error);
+  const std::string lab = testing::TempDir() + "/mclx_lab.bin";
+  io::save_labels(lab, {1, 2});
+  EXPECT_THROW(io::load_triples(lab), std::runtime_error);
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  const std::string path = testing::TempDir() + "/mclx_trunc.bin";
+  {
+    T m(4, 4);
+    m.push(1, 1, 3.0);
+    m.push(2, 2, 4.0);
+    io::save_triples(path, m);
+  }
+  // Chop the file mid-entry.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  out.close();
+  EXPECT_THROW(io::load_triples(path), std::runtime_error);
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  EXPECT_THROW(io::load_triples("/nonexistent/x.bin"), std::runtime_error);
+}
+
+}  // namespace

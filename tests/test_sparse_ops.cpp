@@ -1,0 +1,270 @@
+// Tests for the element-wise / structural CSC operations the MCL core is
+// built from: stochastic normalization, Hadamard power, threshold prune,
+// flops/cf accounting, addition, identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/permute.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mclx::sparse;
+using C = Csc<int, double>;
+using T = Triples<int, double>;
+
+T random_triples(int nrows, int ncols, int entries, std::uint64_t seed) {
+  mclx::util::Xoshiro256 rng(seed);
+  T t(nrows, ncols);
+  for (int e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<int>(rng.bounded(nrows)),
+                     static_cast<int>(rng.bounded(ncols)), rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+TEST(Ops, ColumnSums) {
+  T t(3, 2);
+  t.push(0, 0, 1.0);
+  t.push(1, 0, 2.0);
+  t.push(2, 1, 5.0);
+  const C a = csc_from_triples(t);
+  const auto sums = column_sums(a);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 5.0);
+}
+
+TEST(Ops, NormalizeMakesColumnsStochastic) {
+  C a = csc_from_triples(random_triples(30, 30, 250, 1));
+  normalize_columns(a);
+  EXPECT_TRUE(is_column_stochastic(a));
+}
+
+TEST(Ops, NormalizeLeavesEmptyColumnsAlone) {
+  T t(3, 3);
+  t.push(0, 0, 2.0);  // cols 1 and 2 empty
+  C a = csc_from_triples(t);
+  normalize_columns(a);
+  EXPECT_DOUBLE_EQ(a.col_vals(0)[0], 1.0);
+  EXPECT_EQ(a.col_nnz(1), 0);
+  EXPECT_TRUE(is_column_stochastic(a));
+}
+
+TEST(Ops, HadamardPowerSquares) {
+  C a = csc_from_triples(random_triples(10, 10, 40, 2));
+  C b = a;
+  hadamard_power(b, 2.0);
+  for (std::size_t p = 0; p < a.vals().size(); ++p) {
+    EXPECT_NEAR(b.vals()[p], a.vals()[p] * a.vals()[p], 1e-15);
+  }
+}
+
+TEST(Ops, InflationSharpensDistributions) {
+  // Inflation (power + renormalize) must increase the max of each column:
+  // the rich get richer — MCL's core mechanism.
+  C a = csc_from_triples(random_triples(40, 40, 400, 3));
+  normalize_columns(a);
+  C b = a;
+  hadamard_power(b, 2.0);
+  normalize_columns(b);
+  for (int j = 0; j < a.ncols(); ++j) {
+    if (a.col_nnz(j) < 2) continue;
+    double max_a = 0, max_b = 0;
+    for (const double v : a.col_vals(j)) max_a = std::max(max_a, v);
+    for (const double v : b.col_vals(j)) max_b = std::max(max_b, v);
+    EXPECT_GE(max_b + 1e-12, max_a);
+  }
+}
+
+TEST(Ops, PruneThresholdDropsSmallEntries) {
+  T t(4, 2);
+  t.push(0, 0, 0.5);
+  t.push(1, 0, 1e-6);
+  t.push(2, 1, -0.5);   // magnitude counts
+  t.push(3, 1, 1e-9);
+  const C a = csc_from_triples(t);
+  const C pruned = prune_threshold(a, 1e-4);
+  EXPECT_EQ(pruned.nnz(), 2u);
+  EXPECT_EQ(pruned.col_nnz(0), 1);
+  EXPECT_EQ(pruned.col_nnz(1), 1);
+  EXPECT_DOUBLE_EQ(pruned.col_vals(1)[0], -0.5);
+}
+
+TEST(Ops, PruneThresholdKeepsEqualToThreshold) {
+  T t(1, 1);
+  t.push(0, 0, 0.25);
+  const C a = csc_from_triples(t);
+  EXPECT_EQ(prune_threshold(a, 0.25).nnz(), 1u);
+  EXPECT_EQ(prune_threshold(a, 0.2500001).nnz(), 0u);
+}
+
+TEST(Ops, FlopsMatchesHandComputation) {
+  // A: col0 has 2 nnz, col1 has 1 nnz. B: col0 = {row0,row1}, col1 = {row1}.
+  T ta(3, 2);
+  ta.push(0, 0, 1);
+  ta.push(1, 0, 1);
+  ta.push(2, 1, 1);
+  T tb(2, 2);
+  tb.push(0, 0, 1);
+  tb.push(1, 0, 1);
+  tb.push(1, 1, 1);
+  const C a = csc_from_triples(ta);
+  const C b = csc_from_triples(tb);
+  // col0 of B touches A cols {0,1}: 2+1 = 3 flops; col1 touches {1}: 1.
+  EXPECT_EQ(spgemm_flops(a, b), 4u);
+  const auto per = spgemm_flops_per_col(a, b);
+  EXPECT_EQ(per[0], 3u);
+  EXPECT_EQ(per[1], 1u);
+}
+
+TEST(Ops, FlopsDimensionMismatchThrows) {
+  const C a = csc_from_triples(random_triples(3, 4, 5, 4));
+  const C b = csc_from_triples(random_triples(3, 4, 5, 5));
+  EXPECT_THROW(spgemm_flops(a, b), std::invalid_argument);
+}
+
+TEST(Ops, CompressionFactor) {
+  EXPECT_DOUBLE_EQ(compression_factor(100, 25), 4.0);
+  EXPECT_DOUBLE_EQ(compression_factor(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(compression_factor(5, 0), 0.0);
+}
+
+TEST(Ops, AddMergesSortedColumns) {
+  T ta(3, 2);
+  ta.push(0, 0, 1.0);
+  ta.push(2, 0, 2.0);
+  T tb(3, 2);
+  tb.push(0, 0, 10.0);
+  tb.push(1, 1, 3.0);
+  const C sum = add(csc_from_triples(ta), csc_from_triples(tb));
+  EXPECT_EQ(sum.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(sum.col_vals(0)[0], 11.0);
+  EXPECT_DOUBLE_EQ(sum.col_vals(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(sum.col_vals(1)[0], 3.0);
+  EXPECT_TRUE(sum.cols_sorted());
+}
+
+TEST(Ops, AddShapeMismatchThrows) {
+  const C a = csc_from_triples(random_triples(3, 3, 4, 6));
+  const C b = csc_from_triples(random_triples(4, 3, 4, 7));
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(Ops, AddCommutes) {
+  const C a = csc_from_triples(random_triples(20, 20, 80, 8));
+  const C b = csc_from_triples(random_triples(20, 20, 80, 9));
+  EXPECT_EQ(add(a, b), add(b, a));
+}
+
+TEST(Ops, IdentityIsStochastic) {
+  const auto eye = identity<int, double>(5);
+  EXPECT_EQ(eye.nnz(), 5u);
+  EXPECT_TRUE(is_column_stochastic(eye));
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(eye.col_rows(j)[0], j);
+  }
+}
+
+TEST(Ops, ApproxEqualToleratesRounding) {
+  C a = csc_from_triples(random_triples(10, 10, 30, 10));
+  C b = a;
+  b.vals()[0] *= 1.0 + 1e-13;
+  EXPECT_TRUE(approx_equal(a, b));
+  b.vals()[0] *= 1.0 + 1e-6;
+  EXPECT_FALSE(approx_equal(a, b));
+}
+
+TEST(Ops, ApproxEqualRejectsStructureMismatch) {
+  const C a = csc_from_triples(random_triples(10, 10, 30, 11));
+  const C b = csc_from_triples(random_triples(10, 10, 31, 12));
+  EXPECT_FALSE(approx_equal(a, b));
+  EXPECT_TRUE(std::isinf(max_rel_diff(a, b)));
+}
+
+TEST(Ops, MaxColNnz) {
+  T t(5, 3);
+  t.push(0, 1, 1);
+  t.push(1, 1, 1);
+  t.push(2, 1, 1);
+  t.push(0, 2, 1);
+  EXPECT_EQ(max_col_nnz(csc_from_triples(t)), 3);
+}
+
+TEST(Permute, RandomPermutationIsBijective) {
+  mclx::util::Xoshiro256 rng(5);
+  const auto perm = random_permutation<int>(50, rng);
+  std::vector<bool> seen(50, false);
+  for (const int p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 50);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(Permute, InverseUndoes) {
+  mclx::util::Xoshiro256 rng(6);
+  const auto perm = random_permutation<int>(30, rng);
+  const auto inv = inverse_permutation(perm);
+  for (int v = 0; v < 30; ++v) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(
+                  perm[static_cast<std::size_t>(v)])],
+              v);
+  }
+}
+
+TEST(Permute, InverseRejectsNonPermutation) {
+  EXPECT_THROW(inverse_permutation<int>({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(inverse_permutation<int>({0, 5}), std::invalid_argument);
+}
+
+TEST(Permute, SymmetricPermutationPreservesGraph) {
+  // P A Pᵀ then P⁻¹ (P A Pᵀ) P⁻ᵀ must give back A.
+  T t = random_triples(25, 25, 120, 7);
+  T permuted = t;
+  mclx::util::Xoshiro256 rng(8);
+  const auto perm = random_permutation<int>(25, rng);
+  permute_symmetric(permuted, perm);
+  permute_symmetric(permuted, inverse_permutation(perm));
+  permuted.sort_and_combine();
+  EXPECT_EQ(permuted, t);
+}
+
+TEST(Permute, SymmetricPermutationPreservesDegreesAndValues) {
+  T t = random_triples(20, 20, 100, 9);
+  T permuted = t;
+  mclx::util::Xoshiro256 rng(10);
+  const auto perm = random_permutation<int>(20, rng);
+  permute_symmetric(permuted, perm);
+  permuted.sort_and_combine();
+  EXPECT_EQ(permuted.nnz(), t.nnz());
+  // Column j's sum moves to column perm[j].
+  const auto before = column_sums(csc_from_triples(t));
+  const auto after = column_sums(csc_from_triples(permuted));
+  for (int j = 0; j < 20; ++j) {
+    EXPECT_DOUBLE_EQ(after[static_cast<std::size_t>(
+                         perm[static_cast<std::size_t>(j)])],
+                     before[static_cast<std::size_t>(j)]);
+  }
+}
+
+TEST(Permute, RejectsRectangular) {
+  T t(3, 4);
+  EXPECT_THROW(permute_symmetric(t, std::vector<int>{0, 1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Permute, LabelsFollowVertices) {
+  const std::vector<int> labels = {7, 8, 9};
+  const std::vector<int> perm = {2, 0, 1};
+  const auto moved = permute_labels(labels, perm);
+  EXPECT_EQ(moved, (std::vector<int>{8, 9, 7}));
+  EXPECT_THROW(permute_labels(labels, std::vector<int>{0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace

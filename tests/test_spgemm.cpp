@@ -1,0 +1,175 @@
+// Cross-kernel SpGEMM property suite: every CPU kernel must produce a
+// result structurally identical and numerically equal (1e-9 relative) to
+// the dense-accumulator (SPA) reference, across a parameter grid of
+// shapes, densities and structures; plus symbolic-pass exactness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/heap.hpp"
+#include "spgemm/spa.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+using T = sparse::Triples<vidx_t, val_t>;
+
+C random_csc(vidx_t nrows, vidx_t ncols, double density, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  T t(nrows, ncols);
+  const auto entries = static_cast<std::uint64_t>(
+      density * static_cast<double>(nrows) * static_cast<double>(ncols));
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(nrows)),
+                     static_cast<vidx_t>(rng.bounded(ncols)),
+                     rng.uniform() * 2 - 1);  // mixed signs
+  }
+  t.sort_and_combine();
+  return sparse::csc_from_triples(std::move(t));
+}
+
+struct Case {
+  std::string name;
+  vidx_t m, k, n;       // A is m×k, B is k×n
+  double density_a, density_b;
+  std::uint64_t seed;
+};
+
+class SpgemmEquivalence : public testing::TestWithParam<Case> {};
+
+TEST_P(SpgemmEquivalence, HeapMatchesSpa) {
+  const Case& c = GetParam();
+  const C a = random_csc(c.m, c.k, c.density_a, c.seed);
+  const C b = random_csc(c.k, c.n, c.density_b, c.seed + 1);
+  const C ref = spgemm::spa_spgemm(a, b);
+  const C heap = spgemm::heap_spgemm(a, b);
+  EXPECT_TRUE(sparse::approx_equal(ref, heap))
+      << "max rel diff " << sparse::max_rel_diff(ref, heap);
+}
+
+TEST_P(SpgemmEquivalence, HashMatchesSpa) {
+  const Case& c = GetParam();
+  const C a = random_csc(c.m, c.k, c.density_a, c.seed);
+  const C b = random_csc(c.k, c.n, c.density_b, c.seed + 1);
+  const C ref = spgemm::spa_spgemm(a, b);
+  const C hash = spgemm::hash_spgemm(a, b);
+  EXPECT_TRUE(sparse::approx_equal(ref, hash))
+      << "max rel diff " << sparse::max_rel_diff(ref, hash);
+}
+
+TEST_P(SpgemmEquivalence, SymbolicCountsExact) {
+  const Case& c = GetParam();
+  const C a = random_csc(c.m, c.k, c.density_a, c.seed);
+  const C b = random_csc(c.k, c.n, c.density_b, c.seed + 1);
+  const C ref = spgemm::spa_spgemm(a, b);
+  const auto per_col = spgemm::symbolic_nnz_per_col(a, b);
+  ASSERT_EQ(per_col.size(), static_cast<std::size_t>(ref.ncols()));
+  for (vidx_t j = 0; j < ref.ncols(); ++j) {
+    EXPECT_EQ(per_col[static_cast<std::size_t>(j)],
+              static_cast<std::uint64_t>(ref.col_nnz(j)))
+        << "column " << j;
+  }
+  EXPECT_EQ(spgemm::symbolic_nnz(a, b), ref.nnz());
+}
+
+TEST_P(SpgemmEquivalence, OutputColumnsSorted) {
+  const Case& c = GetParam();
+  const C a = random_csc(c.m, c.k, c.density_a, c.seed);
+  const C b = random_csc(c.k, c.n, c.density_b, c.seed + 1);
+  EXPECT_TRUE(spgemm::heap_spgemm(a, b).cols_sorted());
+  EXPECT_TRUE(spgemm::hash_spgemm(a, b).cols_sorted());
+  EXPECT_TRUE(spgemm::spa_spgemm(a, b).cols_sorted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpgemmEquivalence,
+    testing::Values(
+        Case{"tiny", 8, 8, 8, 0.3, 0.3, 1},
+        Case{"square_sparse", 100, 100, 100, 0.02, 0.02, 2},
+        Case{"square_dense", 60, 60, 60, 0.25, 0.25, 3},
+        Case{"rect_wide", 40, 120, 30, 0.05, 0.08, 4},
+        Case{"rect_tall", 150, 30, 80, 0.06, 0.10, 5},
+        Case{"high_cf", 50, 50, 50, 0.5, 0.5, 6},   // many collisions
+        Case{"low_cf", 400, 400, 400, 0.002, 0.002, 7},
+        Case{"single_col_b", 80, 80, 1, 0.1, 0.5, 8},
+        Case{"single_row_inner", 60, 1, 60, 0.4, 0.9, 9},
+        Case{"empty_a", 30, 30, 30, 0.0, 0.2, 10},
+        Case{"empty_b", 30, 30, 30, 0.2, 0.0, 11}),
+    [](const testing::TestParamInfo<Case>& info) { return info.param.name; });
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  const C a = random_csc(4, 5, 0.5, 1);
+  const C b = random_csc(4, 4, 0.5, 2);
+  EXPECT_THROW(spgemm::spa_spgemm(a, b), std::invalid_argument);
+  EXPECT_THROW(spgemm::heap_spgemm(a, b), std::invalid_argument);
+  EXPECT_THROW(spgemm::hash_spgemm(a, b), std::invalid_argument);
+  EXPECT_THROW(spgemm::symbolic_nnz(a, b), std::invalid_argument);
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  const C a = random_csc(30, 30, 0.1, 3);
+  const auto eye = sparse::identity<vidx_t, val_t>(30);
+  EXPECT_TRUE(sparse::approx_equal(spgemm::hash_spgemm(a, eye), a));
+  EXPECT_TRUE(sparse::approx_equal(spgemm::hash_spgemm(eye, a), a));
+  EXPECT_TRUE(sparse::approx_equal(spgemm::heap_spgemm(a, eye), a));
+}
+
+TEST(Spgemm, MatrixSquareMatchesTransposeIdentity) {
+  // (A·A)ᵀ = Aᵀ·Aᵀ — exercises kernels against the transpose machinery.
+  const C a = random_csc(50, 50, 0.08, 4);
+  const C at = sparse::transpose(a);
+  const C lhs = sparse::transpose(spgemm::hash_spgemm(a, a));
+  const C rhs = spgemm::hash_spgemm(at, at);
+  EXPECT_TRUE(sparse::approx_equal(lhs, rhs, 1e-9))
+      << sparse::max_rel_diff(lhs, rhs);
+}
+
+TEST(Spgemm, CscTransposeTrickComputesBA) {
+  // §III-B: multiplying with both operands in CSC as if CSR computes the
+  // transposed product. Verify hash(A,B) == transpose(hash(Bt_ascsc ...)).
+  const C a = random_csc(35, 25, 0.15, 5);
+  const C b = random_csc(25, 45, 0.12, 6);
+  const C ab = spgemm::hash_spgemm(a, b);
+  const C bt = sparse::transpose(b);
+  const C at = sparse::transpose(a);
+  const C btat = spgemm::hash_spgemm(bt, at);  // (AB)ᵀ
+  EXPECT_TRUE(sparse::approx_equal(sparse::transpose(btat), ab, 1e-9));
+}
+
+TEST(Spgemm, CancellationProducesExplicitZero) {
+  // Kernels keep structural nonzeros even when values cancel — all four
+  // implementations must agree on that structure.
+  T ta(2, 2);
+  ta.push(0, 0, 1.0);
+  ta.push(0, 1, -1.0);
+  T tb(2, 1);
+  tb.push(0, 0, 1.0);
+  tb.push(1, 0, 1.0);
+  const C a = sparse::csc_from_triples(ta);
+  const C b = sparse::csc_from_triples(tb);
+  const C ref = spgemm::spa_spgemm(a, b);
+  EXPECT_EQ(ref.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(ref.vals()[0], 0.0);
+  EXPECT_TRUE(sparse::approx_equal(ref, spgemm::heap_spgemm(a, b)));
+  EXPECT_TRUE(sparse::approx_equal(ref, spgemm::hash_spgemm(a, b)));
+}
+
+TEST(Spgemm, FlopsConsistentWithKernelWork) {
+  const C a = random_csc(64, 64, 0.1, 7);
+  const C b = random_csc(64, 64, 0.1, 8);
+  const std::uint64_t f = sparse::spgemm_flops(a, b);
+  const C c = spgemm::hash_spgemm(a, b);
+  // flops >= nnz(C) always; cf = flops/nnz(C) >= 1.
+  EXPECT_GE(f, c.nnz());
+  EXPECT_GE(sparse::compression_factor(f, c.nnz()), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Extended SpGEMM suites: the thread-parallel hash kernel (bit-identical
+// to the sequential one at every thread count) and the semiring-generic
+// kernel (plus-times vs reference; min-plus shortest paths; or-and
+// reachability).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/hash_parallel.hpp"
+#include "spgemm/semiring.hpp"
+#include "spgemm/spa.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+using T = sparse::Triples<vidx_t, val_t>;
+
+C random_csc(vidx_t nrows, vidx_t ncols, double density, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  T t(nrows, ncols);
+  const auto entries = static_cast<std::uint64_t>(
+      density * static_cast<double>(nrows) * static_cast<double>(ncols));
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(nrows)),
+                     static_cast<vidx_t>(rng.bounded(ncols)),
+                     rng.uniform() * 2 - 1);
+  }
+  t.sort_and_combine();
+  return sparse::csc_from_triples(std::move(t));
+}
+
+class ParallelHash : public testing::TestWithParam<int> {};
+
+TEST_P(ParallelHash, BitIdenticalToSequential) {
+  const int threads = GetParam();
+  const C a = random_csc(120, 90, 0.08, 1);
+  const C b = random_csc(90, 150, 0.06, 2);
+  const C seq = spgemm::hash_spgemm(a, b);
+  const C par = spgemm::parallel_hash_spgemm(a, b, threads);
+  EXPECT_EQ(seq, par);  // exact, not approx: same per-column arithmetic
+}
+
+TEST_P(ParallelHash, SkewedColumnsStayCorrect) {
+  // One giant column among many tiny ones: the flops partitioner must
+  // not split a column and must still cover everything.
+  const int threads = GetParam();
+  T t(200, 50);
+  util::Xoshiro256 rng(3);
+  for (int e = 0; e < 180; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(200)), 7,
+                     rng.uniform_pos());  // hot column
+  }
+  for (int e = 0; e < 60; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(200)),
+                     static_cast<vidx_t>(rng.bounded(50)), rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  const C b = sparse::csc_from_triples(std::move(t));
+  const C a = random_csc(300, 200, 0.05, 4);
+  EXPECT_EQ(spgemm::hash_spgemm(a, b),
+            spgemm::parallel_hash_spgemm(a, b, threads));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelHash,
+                         testing::Values(1, 2, 3, 4, 8, 17),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ParallelHash, MoreThreadsThanColumns) {
+  const C a = random_csc(30, 3, 0.5, 5);
+  const C b = random_csc(3, 2, 0.9, 6);
+  EXPECT_EQ(spgemm::hash_spgemm(a, b),
+            spgemm::parallel_hash_spgemm(a, b, 16));
+}
+
+TEST(ParallelHash, DefaultThreadCount) {
+  const C a = random_csc(40, 40, 0.1, 7);
+  EXPECT_EQ(spgemm::hash_spgemm(a, a),
+            spgemm::parallel_hash_spgemm(a, a, 0));
+}
+
+TEST(ParallelHash, DimensionMismatchThrows) {
+  const C a = random_csc(5, 6, 0.5, 8);
+  const C b = random_csc(5, 5, 0.5, 9);
+  EXPECT_THROW(spgemm::parallel_hash_spgemm(a, b, 2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Semirings.
+
+TEST(Semiring, PlusTimesMatchesReference) {
+  const C a = random_csc(60, 60, 0.08, 10);
+  const C b = random_csc(60, 60, 0.08, 11);
+  const C ref = spgemm::spa_spgemm(a, b);
+  const C sr = spgemm::semiring_spgemm<spgemm::PlusTimes<val_t>>(a, b);
+  EXPECT_TRUE(sparse::approx_equal(ref, sr));
+}
+
+TEST(Semiring, MinPlusComputesShortestTwoHopPaths) {
+  // Path graph 0-1-2 with weights; A over min-plus squared gives the
+  // 2-hop distances.
+  T t(3, 3);
+  t.push(0, 1, 2.0);
+  t.push(1, 0, 2.0);
+  t.push(1, 2, 3.0);
+  t.push(2, 1, 3.0);
+  t.sort_and_combine();
+  const C a = sparse::csc_from_triples(t);
+  const C d2 = spgemm::semiring_spgemm<spgemm::MinPlus<val_t>>(a, a);
+  // 0->2 via 1: 2+3 = 5.
+  bool found = false;
+  for (vidx_t p = d2.colptr()[2]; p < d2.colptr()[3]; ++p) {
+    if (d2.rowids()[p] == 0) {
+      EXPECT_DOUBLE_EQ(d2.vals()[p], 5.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // 0->0 via 1 and back: 4.
+  for (vidx_t p = d2.colptr()[0]; p < d2.colptr()[1]; ++p) {
+    if (d2.rowids()[p] == 0) EXPECT_DOUBLE_EQ(d2.vals()[p], 4.0);
+  }
+}
+
+TEST(Semiring, MinPlusPicksCheapestIntermediate) {
+  // Two routes 0->2: via 1 (cost 10) and via 3 (cost 4).
+  T t(4, 4);
+  t.push(1, 0, 5.0);   // col 0 holds edges out of 0 (column = source)
+  t.push(3, 0, 1.0);
+  t.push(2, 1, 5.0);
+  t.push(2, 3, 3.0);
+  t.sort_and_combine();
+  const C a = sparse::csc_from_triples(t);
+  const C d2 = spgemm::semiring_spgemm<spgemm::MinPlus<val_t>>(a, a);
+  for (vidx_t p = d2.colptr()[0]; p < d2.colptr()[1]; ++p) {
+    if (d2.rowids()[p] == 2) EXPECT_DOUBLE_EQ(d2.vals()[p], 4.0);
+  }
+}
+
+TEST(Semiring, OrAndComputesReachability) {
+  const C a = random_csc(50, 50, 0.05, 12);
+  const C reach = spgemm::semiring_spgemm<spgemm::OrAnd<val_t>>(a, a);
+  // Same structure as numeric A*A, all values exactly 1.
+  const C numeric = spgemm::spa_spgemm(a, a);
+  EXPECT_EQ(reach.colptr(), numeric.colptr());
+  EXPECT_EQ(reach.rowids(), numeric.rowids());
+  for (const val_t v : reach.vals()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Semiring, DimensionMismatchThrows) {
+  const C a = random_csc(4, 5, 0.5, 13);
+  const C b = random_csc(4, 4, 0.5, 14);
+  EXPECT_THROW(
+      (spgemm::semiring_spgemm<spgemm::PlusTimes<val_t>>(a, b)),
+      std::invalid_argument);
+}
+
+}  // namespace

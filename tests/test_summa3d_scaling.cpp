@@ -1,0 +1,127 @@
+// Deeper 3D-SUMMA behavior tests: stage partitioning arithmetic, stats
+// consistency with the 2D path, and the broadcast-volume advantage across
+// layer counts (the quantity bench_ablation_3d sweeps).
+#include <gtest/gtest.h>
+
+#include "dist/summa.hpp"
+#include "dist/summa3d.hpp"
+#include "sim/machine.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mclx;
+using dist::DistMat;
+using dist::ProcGrid;
+using T = sparse::Triples<vidx_t, val_t>;
+
+T random_triples(vidx_t n, std::uint64_t entries, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  T t(n, n);
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(n)),
+                     static_cast<vidx_t>(rng.bounded(n)), rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+TEST(Summa3dScaling, SingleLayerMatchesTwoD) {
+  // c=1 is definitionally the 2D algorithm; products must be identical
+  // and total flops equal.
+  T t = random_triples(50, 800, 41);
+  const ProcGrid grid(4);
+  const DistMat a = DistMat::from_triples(t, grid);
+
+  sim::SimState s2(sim::summit_like(4));
+  dist::SummaOptions o2;
+  o2.pipelined = true;
+  o2.binary_merge = true;
+  const auto r2 = dist::summa_multiply(a, a, s2, o2);
+
+  sim::SimState s3(sim::summit_like(4));
+  dist::Summa3dOptions o3;
+  o3.layers = 1;
+  const auto r3 = dist::summa3d_multiply(a, a, s3, o3);
+
+  EXPECT_EQ(r2.c.to_csc(), r3.c.to_csc());
+  EXPECT_EQ(r2.stats.total_flops, r3.stats.total_flops);
+}
+
+TEST(Summa3dScaling, FlopsIndependentOfLayers) {
+  T t = random_triples(64, 1200, 42);
+  const ProcGrid grid(16);  // d = 4
+  const DistMat a = DistMat::from_triples(t, grid);
+  std::uint64_t base_flops = 0;
+  for (const int layers : {1, 2, 4}) {
+    sim::SimState sim(sim::summit_like(16 * layers));
+    dist::Summa3dOptions opt;
+    opt.layers = layers;
+    const auto r = dist::summa3d_multiply(a, a, sim, opt);
+    if (base_flops == 0) {
+      base_flops = r.stats.total_flops;
+    } else {
+      EXPECT_EQ(r.stats.total_flops, base_flops) << "layers=" << layers;
+    }
+  }
+}
+
+TEST(Summa3dScaling, BcastVolumeFallsMonotonicallyWithLayers) {
+  T t = random_triples(80, 4000, 43);
+  const ProcGrid grid(16);  // d = 4 stages
+  const DistMat a = DistMat::from_triples(t, grid);
+  double prev = 1e30;
+  for (const int layers : {1, 2, 4}) {
+    sim::SimState sim(sim::summit_like(16 * layers));
+    dist::Summa3dOptions opt;
+    opt.layers = layers;
+    opt.charge_replication = false;
+    const auto r = dist::summa3d_multiply(a, a, sim, opt);
+    EXPECT_LT(r.stats.bcast_time, prev) << "layers=" << layers;
+    prev = r.stats.bcast_time;
+  }
+}
+
+TEST(Summa3dScaling, ReductionCostGrowsWithLayers) {
+  T t = random_triples(80, 4000, 44);
+  const ProcGrid grid(16);
+  const DistMat a = DistMat::from_triples(t, grid);
+  double prev = -1;
+  for (const int layers : {2, 4}) {
+    sim::SimState sim(sim::summit_like(16 * layers));
+    dist::Summa3dOptions opt;
+    opt.layers = layers;
+    opt.charge_replication = false;
+    const auto r = dist::summa3d_multiply(a, a, sim, opt);
+    EXPECT_GT(r.reduction_time, 0.0);
+    EXPECT_GT(r.reduction_time, prev) << "layers=" << layers;
+    prev = r.reduction_time;
+  }
+}
+
+TEST(Summa3dScaling, GpuIdleDropsWithLayers) {
+  // The §VII-E claim the extension exists to demonstrate.
+  T t = random_triples(100, 6000, 45);
+  const ProcGrid grid(16);
+  const DistMat a = DistMat::from_triples(t, grid);
+
+  sim::SimState s1(sim::summit_like(16));
+  dist::SummaOptions o2;
+  o2.pipelined = true;
+  o2.binary_merge = true;
+  const auto flat = dist::summa_multiply(a, a, s1, o2);
+
+  const ProcGrid small(4);
+  const DistMat a_small = DistMat::from_triples(t, small);
+  sim::SimState s2(sim::summit_like(16));
+  dist::Summa3dOptions o3;
+  o3.layers = 4;
+  o3.charge_replication = false;
+  const auto layered = dist::summa3d_multiply(a_small, a_small, s2, o3);
+
+  EXPECT_LT(layered.stats.gpu_idle, flat.stats.gpu_idle);
+}
+
+}  // namespace
