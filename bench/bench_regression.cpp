@@ -1,0 +1,164 @@
+// Perf-regression harness: one fixed, fully seeded planted-partition
+// workload through optimized HipMCL, emitted as schema-stable JSON
+// (BENCH_regression.json) so successive PRs accumulate a machine-readable
+// perf trajectory. Everything virtual-time and algorithmic in the file is
+// deterministic for a given source tree; only real_wall_s varies between
+// machines, so diffs of the other fields are meaningful.
+//
+// The field catalogue and its mapping to the paper's tables/figures is
+// documented in docs/OBSERVABILITY.md ("BENCH_regression.json schema").
+#include <fstream>
+
+#include "common.hpp"
+#include "core/quality.hpp"
+#include "gen/planted.hpp"
+
+namespace {
+
+using namespace mclx;
+
+/// Indented key prefix: `lvl` two-space indents + quoted key + ": ".
+std::string key(int lvl, const std::string& name) {
+  return std::string(static_cast<std::size_t>(lvl) * 2, ' ') + '"' +
+         obs::json_escaped(name) + "\": ";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Cli cli(argc, argv);
+  const std::string out_path = cli.get("out", "BENCH_regression.json",
+      "where to write the regression report");
+  const auto vertices = static_cast<vidx_t>(cli.get_int("vertices", 480,
+      "workload size (fixed default: keep it for comparable trajectories)"));
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4,
+      "simulated Summit nodes"));
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+
+  // The fixed workload: seeded planted families, optimized HipMCL, with
+  // estimation error measured (uncharged) so the estimator trend is part
+  // of the trajectory.
+  gen::PlantedParams gp;
+  gp.n = vertices;
+  gp.seed = 7;
+  const gen::PlantedGraph graph = gen::planted_partition(gp);
+
+  const core::MclParams params = bench::standard_params(40);
+  core::HipMclConfig config = core::HipMclConfig::optimized();
+  config.measure_estimation_error = true;
+
+  obs::MetricsRegistry registry;
+  sim::SimState sim(sim::summit_like(nodes));
+  util::WallTimer wall;
+  core::MclResult result;
+  {
+    obs::ScopedMetrics scope(registry);
+    result = core::run_hipmcl(graph.edges, params, config, sim);
+  }
+  const double real_wall_s = wall.elapsed_s();
+
+  const gen::ClusterQuality quality =
+      gen::score_clustering(result.labels, graph.labels);
+  const double mod = core::modularity(graph.edges, result.labels);
+  const bench::SummaTotals summa = bench::summa_totals(result);
+
+  std::uint64_t merge_peak_sum_max = 0;  // worst iteration (Table III row)
+  std::uint64_t merge_peak_rank_max = 0;
+  for (const auto& it : result.iters) {
+    merge_peak_sum_max = std::max(merge_peak_sum_max, it.merge_peak_sum);
+    merge_peak_rank_max = std::max(merge_peak_rank_max, it.merge_peak_max);
+  }
+  const obs::Accumulator* est_err = registry.accumulator("estimate.rel_error");
+
+  std::ofstream os(out_path);
+  if (!os) throw std::runtime_error("cannot write " + out_path);
+  const auto num = [](double v) { return obs::json_number(v); };
+
+  os << "{\n";
+  os << key(1, "schema_version") << 1 << ",\n";
+  os << key(1, "bench") << "\"bench_regression\",\n";
+  os << key(1, "workload") << "{\n";
+  os << key(2, "generator") << "\"planted_partition\",\n";
+  os << key(2, "vertices") << graph.edges.nrows() << ",\n";
+  os << key(2, "edges") << graph.edges.nnz() << ",\n";
+  os << key(2, "seed") << gp.seed << ",\n";
+  os << key(2, "nodes") << nodes << ",\n";
+  os << key(2, "nranks") << sim.nranks() << ",\n";
+  os << key(2, "config") << "\"optimized\",\n";
+  os << key(2, "select_k") << params.prune.select_k << "\n";
+  os << "  },\n";
+  os << key(1, "clustering") << "{\n";
+  os << key(2, "iterations") << result.iterations << ",\n";
+  os << key(2, "converged") << (result.converged ? "true" : "false") << ",\n";
+  os << key(2, "num_clusters") << result.num_clusters << ",\n";
+  os << key(2, "f1") << num(quality.f1) << ",\n";
+  os << key(2, "modularity") << num(mod) << "\n";
+  os << "  },\n";
+  os << key(1, "virtual") << "{\n";
+  os << key(2, "elapsed_s") << num(result.elapsed) << ",\n";
+  for (std::size_t s = 0; s < sim::kNumStages; ++s) {
+    // Stage keys match the RunReport iteration fields (t_local_spgemm_s…).
+    static constexpr std::array<std::string_view, sim::kNumStages> kKeys = {
+        "t_local_spgemm_s", "t_mem_estimation_s", "t_summa_bcast_s",
+        "t_merge_s",        "t_prune_s",          "t_other_s",
+    };
+    os << key(2, std::string(kKeys[s])) << num(result.stage_times[s]) << ",\n";
+  }
+  os << key(2, "cpu_idle_s") << num(result.mean_cpu_idle) << ",\n";
+  os << key(2, "gpu_idle_s") << num(result.mean_gpu_idle) << "\n";
+  os << "  },\n";
+  os << key(1, "summa") << "{\n";
+  os << key(2, "spgemm_s") << num(summa.spgemm) << ",\n";
+  os << key(2, "bcast_s") << num(summa.bcast) << ",\n";
+  os << key(2, "merge_s") << num(summa.merge) << ",\n";
+  os << key(2, "overall_s") << num(summa.overall) << "\n";
+  os << "  },\n";
+  os << key(1, "memory") << "{\n";
+  os << key(2, "merge_peak_elements_sum_max") << merge_peak_sum_max << ",\n";
+  os << key(2, "merge_peak_elements_max") << merge_peak_rank_max << ",\n";
+  os << key(2, "merge_events") << registry.counter("merge.events") << "\n";
+  os << "  },\n";
+  os << key(1, "estimator") << "{\n";
+  os << key(2, "mean_rel_error") << num(est_err ? est_err->mean() : -1) << ",\n";
+  os << key(2, "max_rel_error") << num(est_err && est_err->count ? est_err->max
+                                                                 : -1)
+     << "\n";
+  os << "  },\n";
+  os << key(1, "kernels") << "{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string prefix = "spgemm.kernel.";
+    if (name.rfind(prefix, 0) != 0) continue;
+    os << (first ? "\n" : ",\n") << key(2, name.substr(prefix.size()))
+       << value;
+    first = false;
+  }
+  os << "\n  },\n";
+  os << key(1, "iters") << "[";
+  for (std::size_t i = 0; i < result.iters.size(); ++i) {
+    const auto& it = result.iters[i];
+    os << (i ? "," : "") << "\n    {\"iter\": " << it.iter
+       << ", \"chaos\": " << num(it.chaos)
+       << ", \"nnz\": " << it.nnz_after_prune
+       << ", \"phases\": " << it.phases
+       << ", \"elapsed_s\": " << num(it.elapsed) << "}";
+  }
+  os << "\n  ],\n";
+  os << key(1, "real_wall_s") << num(real_wall_s) << "\n";
+  os << "}\n";
+  os.close();
+
+  std::cout << "bench_regression: " << result.iterations << " iterations, "
+            << result.num_clusters << " clusters, F1 "
+            << util::Table::fmt(quality.f1, 3) << ", virtual "
+            << util::Table::fmt(result.elapsed, 1) << "s; wrote " << out_path
+            << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_regression: " << e.what() << "\n";
+  return 1;
+}

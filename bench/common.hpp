@@ -8,11 +8,15 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/hipmcl.hpp"
 #include "gen/datasets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "sim/eventlog.hpp"
 #include "sim/machine.hpp"
 #include "sim/timeline.hpp"
 #include "util/cli.hpp"
@@ -20,6 +24,53 @@
 #include "util/timer.hpp"
 
 namespace mclx::bench {
+
+/// Observability flags shared by the benches. Constructing an ObsScope
+/// registers --metrics-out and --trace-out on the bench's Cli and, when
+/// either was passed, installs the corresponding global sink for the
+/// scope's lifetime; finish() writes the requested files. Benches that
+/// run several configurations aggregate them all into one registry.
+class ObsScope {
+ public:
+  explicit ObsScope(util::Cli& cli)
+      : metrics_path_(cli.get("metrics-out", "",
+                              "write a JSONL metrics report here")),
+        trace_path_(cli.get(
+            "trace-out", "",
+            "write Chrome-tracing JSON of the simulated timelines here")) {
+    if (!metrics_path_.empty()) metrics_scope_.emplace(registry_);
+    if (!trace_path_.empty()) trace_scope_.emplace(trace_);
+  }
+
+  obs::MetricsRegistry& registry() { return registry_; }
+  sim::EventLog& trace() { return trace_; }
+
+  /// Write whatever was requested. With a result, the metrics file is a
+  /// full RunReport (per-iteration records); without, a registry dump.
+  void finish(const core::MclResult* result = nullptr,
+              const obs::RunInfo& info = {}) const {
+    if (!metrics_path_.empty()) {
+      const obs::RunReport report =
+          result ? obs::make_run_report(*result, info, &registry_)
+                 : obs::make_metrics_report(registry_);
+      report.write_jsonl_file(metrics_path_);
+      std::cerr << "[obs] wrote metrics report to " << metrics_path_ << "\n";
+    }
+    if (!trace_path_.empty()) {
+      trace_.write_chrome_trace_file(trace_path_);
+      std::cerr << "[obs] wrote " << trace_.size() << " timeline events to "
+                << trace_path_ << "\n";
+    }
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  sim::EventLog trace_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::optional<obs::ScopedMetrics> metrics_scope_;
+  std::optional<sim::ScopedEventLog> trace_scope_;
+};
 
 /// MCL parameters used across benches: inflation 2 (as in all paper
 /// experiments), selection number scaled from the paper's ~1000 to the

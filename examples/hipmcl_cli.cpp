@@ -9,8 +9,15 @@
 //                [--nodes 16] [--inflation 2.0] [--select-k 80]
 //                [--cutoff 1e-4] [--recover 0] [--mem-gb 0]
 //                [--config optimized] [--estimator probabilistic]
+//                [--metrics-out run.jsonl] [--trace-out run.trace.json]
+//
+// --metrics-out writes the run's JSONL RunReport (one record per MCL
+// iteration plus counters; schema in docs/OBSERVABILITY.md);
+// --trace-out writes the simulated timelines as Chrome-tracing JSON
+// (open in Perfetto / chrome://tracing).
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "mclx.hpp"
 #include "util/cli.hpp"
@@ -69,6 +76,10 @@ int main(int argc, char** argv) try {
       "exact | probabilistic | adaptive");
   const bool report = cli.get_bool("report", false,
       "print per-cluster cohesion statistics");
+  const std::string metrics_out = cli.get("metrics-out", "",
+      "write the run's JSONL metrics report here");
+  const std::string trace_out = cli.get("trace-out", "",
+      "write a Chrome-tracing JSON of the simulated timelines here");
   const std::string log_level = cli.get("log", "warn",
       "debug|info|warn|error");
   if (cli.help_requested()) {
@@ -106,8 +117,37 @@ int main(int argc, char** argv) try {
                         : sim::summit_like(nodes));
   std::cout << "machine: " << sim::to_string(sim.machine()) << "\n";
 
-  const core::MclResult result =
-      core::run_hipmcl(network, params, config, sim);
+  // Observability sinks, installed only when an output was requested.
+  obs::MetricsRegistry registry;
+  sim::EventLog trace;
+  core::MclResult result;
+  {
+    std::optional<obs::ScopedMetrics> metrics_scope;
+    std::optional<sim::ScopedEventLog> trace_scope;
+    if (!metrics_out.empty()) metrics_scope.emplace(registry);
+    if (!trace_out.empty()) trace_scope.emplace(trace);
+    result = core::run_hipmcl(network, params, config, sim);
+  }
+
+  if (!metrics_out.empty()) {
+    obs::RunInfo info;
+    info.workload = input.empty() ? "generated:archaea-mini" : input;
+    info.config = config_name;
+    info.estimator = estimator;
+    info.nodes = static_cast<std::uint64_t>(nodes);
+    info.nranks = static_cast<std::uint64_t>(sim.nranks());
+    info.vertices = static_cast<std::uint64_t>(network.nrows());
+    info.edges = network.nnz();
+    obs::make_run_report(result, info, &registry)
+        .write_jsonl_file(metrics_out);
+    std::cout << "wrote metrics report (" << result.iterations
+              << " iteration records) to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    trace.write_chrome_trace_file(trace_out);
+    std::cout << "wrote " << trace.size() << " timeline events to "
+              << trace_out << " (open in chrome://tracing or Perfetto)\n";
+  }
 
   std::cout << (result.converged ? "converged" : "hit iteration cap")
             << " after " << result.iterations << " iterations ("

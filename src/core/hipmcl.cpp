@@ -10,6 +10,7 @@
 #include "dist/summa.hpp"
 #include "estimate/cohen.hpp"
 #include "estimate/planner.hpp"
+#include "obs/metrics.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
 #include "sparse/ops.hpp"
@@ -106,6 +107,28 @@ sim::StageTimes stage_delta(const sim::SimState& sim,
   sim::StageTimes now = sim.critical_stage_times();
   for (std::size_t s = 0; s < sim::kNumStages; ++s) now[s] -= before[s];
   return now;
+}
+
+/// Metrics hook: the per-iteration trajectory (chaos, nnz, flops, cf,
+/// phases, estimator error) that docs/OBSERVABILITY.md catalogues under
+/// the mcl.* namespace. Full per-iteration records come from
+/// obs::make_run_report; these accumulators make the same quantities
+/// available to callers that only install a registry.
+void report_iteration(const IterationReport& rep) {
+  if (!obs::metrics()) return;
+  obs::count("mcl.iterations");
+  obs::count("mcl.flops", rep.flops);
+  obs::count(rep.used_exact_estimator ? "mcl.estimates.exact"
+                                      : "mcl.estimates.probabilistic");
+  obs::observe("mcl.chaos", rep.chaos);
+  obs::observe("mcl.cf", rep.cf);
+  obs::observe("mcl.phases", static_cast<double>(rep.phases));
+  obs::observe("mcl.nnz_after_prune", static_cast<double>(rep.nnz_after_prune));
+  if (rep.exact_unpruned_nnz > 0 && !rep.used_exact_estimator) {
+    obs::observe("estimate.rel_error",
+                 std::abs(rep.est_unpruned_nnz - rep.exact_unpruned_nnz) /
+                     rep.exact_unpruned_nnz);
+  }
 }
 
 }  // namespace
@@ -244,6 +267,7 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     rep.chaos = distributed_chaos(a, sim);
     rep.stage_times = stage_delta(sim, iter_before);
     rep.elapsed = sim.elapsed() - iter_elapsed_before;
+    report_iteration(rep);
     result.iters.push_back(rep);
     util::log_info("mcl iter ", rep.iter, ": nnz=", rep.nnz_after_prune,
                    " chaos=", rep.chaos, " phases=", rep.phases);

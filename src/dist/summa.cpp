@@ -5,6 +5,7 @@
 
 #include "merge/binary.hpp"
 #include "merge/multiway.hpp"
+#include "obs/metrics.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
 #include "sparse/convert.hpp"
@@ -287,6 +288,22 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
   stats.cpu_idle /= static_cast<double>(nranks);
   stats.gpu_idle /= static_cast<double>(nranks);
   stats.elapsed = sim.elapsed() - elapsed_before - stats.sink_time;
+
+  // Per-call observability: the Table II per-operation intervals. The
+  // per-rank interval detail is exported by the event log (sim/eventlog);
+  // these summaries make each expansion's shape queryable from a report.
+  if (obs::metrics()) {
+    obs::count("summa.calls");
+    obs::count("summa.phases", static_cast<std::uint64_t>(opt.phases));
+    obs::count("summa.gpu_fallbacks",
+               static_cast<std::uint64_t>(stats.gpu_fallbacks));
+    obs::observe("summa.spgemm_s", stats.spgemm_time);
+    obs::observe("summa.bcast_s", stats.bcast_time);
+    obs::observe("summa.merge_s", stats.merge_time);
+    obs::observe("summa.overall_s", stats.elapsed);
+    obs::observe("summa.cpu_idle_s", stats.cpu_idle);
+    obs::observe("summa.gpu_idle_s", stats.gpu_idle);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "merge/binary.hpp"
 #include "merge/kway.hpp"
+#include "obs/metrics.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
 #include "sparse/convert.hpp"
@@ -249,6 +250,17 @@ Summa3dResult summa3d_multiply(const DistMat& a, const DistMat& b,
   stats.cpu_idle /= static_cast<double>(sim.nranks());
   stats.gpu_idle /= static_cast<double>(sim.nranks());
   stats.elapsed = sim.elapsed() - elapsed_before;
+
+  if (obs::metrics()) {
+    obs::count("summa3d.calls");
+    obs::count("summa3d.layers", static_cast<std::uint64_t>(c));
+    obs::observe("summa3d.replication_s", result.replication_time);
+    obs::observe("summa3d.reduction_s", result.reduction_time);
+    obs::observe("summa3d.spgemm_s", stats.spgemm_time);
+    obs::observe("summa3d.bcast_s", stats.bcast_time);
+    obs::observe("summa3d.merge_s", stats.merge_time);
+    obs::observe("summa3d.overall_s", stats.elapsed);
+  }
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mclx::estimate {
 
 PhasePlan plan_phases(const PhasePlanInput& in) {
@@ -38,6 +40,14 @@ PhasePlan plan_phases(const PhasePlanInput& in) {
       1, (in.ncols_global + plan.phases - 1) / plan.phases);
   plan.est_bytes_per_rank_per_phase = static_cast<bytes_t>(
       full_bytes_per_rank / static_cast<double>(plan.phases));
+  if (obs::metrics()) {
+    obs::count("planner.calls");
+    obs::observe("planner.phases", static_cast<double>(plan.phases));
+    obs::observe("planner.est_input_nnz", in.est_output_nnz);
+    obs::observe(
+        "planner.est_bytes_per_rank_per_phase",
+        static_cast<double>(plan.est_bytes_per_rank_per_phase));
+  }
   return plan;
 }
 

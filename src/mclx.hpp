@@ -42,6 +42,8 @@
 #include "merge/binary.hpp"
 #include "merge/immediate.hpp"
 #include "merge/multiway.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "sim/collectives.hpp"
 #include "sim/eventlog.hpp"
 #include "sim/costmodel.hpp"

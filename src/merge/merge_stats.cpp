@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace mclx::merge {
 
 void MergeStats::record(const MergeEvent& e, std::uint64_t resident) {
@@ -10,6 +12,12 @@ void MergeStats::record(const MergeEvent& e, std::uint64_t resident) {
   peak_elements = std::max(peak_elements, resident);
   ++merge_events;
   events.push_back(e);
+  if (obs::metrics()) {
+    obs::count("merge.events");
+    obs::count("merge.elements", e.elements);
+    obs::observe("merge.ways", static_cast<double>(e.ways));
+    obs::observe("merge.peak_elements", static_cast<double>(resident));
+  }
 }
 
 double MergeStats::weighted_ops() const {

@@ -1,0 +1,44 @@
+#include "obs/metrics.hpp"
+
+namespace mclx::obs {
+
+namespace {
+MetricsRegistry* g_metrics = nullptr;
+}
+
+void set_metrics(MetricsRegistry* registry) { g_metrics = registry; }
+MetricsRegistry* metrics() { return g_metrics; }
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  auto it = accumulators_.find(name);
+  if (it == accumulators_.end()) {
+    it = accumulators_.emplace(std::string(name), Accumulator{}).first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Accumulator* MetricsRegistry::accumulator(std::string_view name) const {
+  const auto it = accumulators_.find(name);
+  return it == accumulators_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  accumulators_.clear();
+}
+
+}  // namespace mclx::obs

@@ -1,0 +1,96 @@
+// Run-metrics registry: named counters and value accumulators that any
+// layer can report into, without threading a sink through every call
+// signature. Mirrors sim::EventLog's global-sink pattern: recording is
+// off by default (a null check keeps instrumented hot paths cheap);
+// install a registry around the region of interest and every layer's
+// obs::count()/obs::observe() calls land in it.
+//
+// Metric names are dot-scoped by layer ("spgemm.kernel.nsparse",
+// "planner.phases", "merge.events", ...); the full catalogue, with units
+// and the cost-model symbols they measure, lives in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mclx::obs {
+
+/// Streaming summary of an observed value series: count / sum / min /
+/// max (enough for the per-run reports; full series belong in the
+/// event log, not here).
+struct Accumulator {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void observe(double value) {
+    ++count;
+    sum += value;
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+};
+
+class MetricsRegistry {
+ public:
+  /// Bump counter `name` by `delta` (creates it at zero first).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Feed `value` into accumulator `name`.
+  void observe(std::string_view name, double value);
+
+  /// Counter value; 0 for a counter never bumped.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Accumulator, or nullptr if nothing was observed under `name`.
+  const Accumulator* accumulator(std::string_view name) const;
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Accumulator, std::less<>>& accumulators() const {
+    return accumulators_;
+  }
+
+  void clear();
+  bool empty() const { return counters_.empty() && accumulators_.empty(); }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Accumulator, std::less<>> accumulators_;
+};
+
+/// Global recording sink: when set, instrumented layers report here.
+/// Call with nullptr to stop. Not owned.
+void set_metrics(MetricsRegistry* registry);
+MetricsRegistry* metrics();
+
+/// Report helpers used at instrumentation sites: no-ops when no registry
+/// is installed.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (MetricsRegistry* m = metrics()) m->add(name, delta);
+}
+inline void observe(std::string_view name, double value) {
+  if (MetricsRegistry* m = metrics()) m->observe(name, value);
+}
+
+/// RAII scope: record into `registry` for the current scope.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry& registry) : previous_(metrics()) {
+    set_metrics(&registry);
+  }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+  ~ScopedMetrics() { set_metrics(previous_); }
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+}  // namespace mclx::obs

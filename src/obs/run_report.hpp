@@ -1,0 +1,126 @@
+// RunReport: the machine-readable perf trajectory of one HipMCL run as
+// JSON Lines — one flat record per line, schema-stable so files written
+// by different PRs stay comparable. Record types:
+//
+//   run_meta     — one per file: schema version, workload, configuration
+//   iteration    — one per MCL iteration: the quantities behind Fig 1's
+//                  breakdown, Tab 2's overlap, Tab 3's merge memory and
+//                  Fig 6's estimator error, in virtual seconds / counts
+//   counter      — one per MetricsRegistry counter (name, value)
+//   observation  — one per MetricsRegistry accumulator (count/sum/min/max)
+//   run_summary  — one per file: whole-run stage budget and outcome
+//
+// Field names, units and the cost-model symbols each metric measures are
+// documented in docs/OBSERVABILITY.md; the schemas are introspectable
+// here (iteration_schema() etc.) so tests can pin them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/hipmcl.hpp"
+#include "obs/metrics.hpp"
+
+namespace mclx::obs {
+
+inline constexpr std::uint64_t kReportSchemaVersion = 1;
+
+/// Scalar JSONL field value. Only flat scalars: schema stability is the
+/// point, and nested objects would invite per-PR drift.
+using Value = std::variant<bool, std::uint64_t, double, std::string>;
+
+enum class FieldType : std::size_t {
+  kBool = 0,
+  kUInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+inline FieldType type_of(const Value& v) {
+  return static_cast<FieldType>(v.index());
+}
+std::string_view field_type_name(FieldType t);
+
+/// One JSONL record: a type tag plus ordered (name, value) fields.
+struct Record {
+  std::string type;
+  std::vector<std::pair<std::string, Value>> fields;
+
+  void add(std::string_view name, Value value) {
+    fields.emplace_back(std::string(name), std::move(value));
+  }
+  /// First field named `name`, or nullptr.
+  const Value* find(std::string_view name) const;
+};
+
+/// Declarative schema entry for one record field.
+struct FieldSpec {
+  std::string_view name;
+  FieldType type;
+};
+
+/// The pinned schemas (field order matters: files are diffable).
+const std::vector<FieldSpec>& run_meta_schema();
+const std::vector<FieldSpec>& iteration_schema();
+const std::vector<FieldSpec>& run_summary_schema();
+
+/// True when `r.fields` matches `schema` exactly (names, order, types);
+/// on mismatch and non-null `why`, a human-readable reason is stored.
+bool matches_schema(const Record& r, const std::vector<FieldSpec>& schema,
+                    std::string* why = nullptr);
+
+class RunReport {
+ public:
+  void add(Record record) { records_.push_back(std::move(record)); }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Records of one type, in file order.
+  std::vector<const Record*> records_of(std::string_view type) const;
+
+  /// JSON Lines, one record per line, "type" always the first key.
+  void write_jsonl(std::ostream& os) const;
+  void write_jsonl_file(const std::string& path) const;
+
+  /// Parse a JSONL stream produced by write_jsonl (flat records with
+  /// scalar values). Throws std::runtime_error on malformed input.
+  static RunReport read_jsonl(std::istream& is);
+  static RunReport read_jsonl_file(const std::string& path);
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Workload / configuration description for the run_meta record.
+struct RunInfo {
+  std::string workload;   ///< dataset or input-file description
+  std::string config;     ///< original | no-overlap | optimized | ...
+  std::string estimator;  ///< exact | probabilistic | adaptive
+  std::uint64_t nodes = 0;
+  std::uint64_t nranks = 0;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+};
+
+/// Build the full report for a finished run: run_meta, one iteration
+/// record per MclResult iteration, the registry's counters/observations
+/// (when given), and the run_summary.
+RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
+                          const MetricsRegistry* metrics = nullptr);
+
+/// Counter/observation records only, no run attached — for harnesses
+/// that aggregate several runs into one registry.
+RunReport make_metrics_report(const MetricsRegistry& metrics);
+
+/// JSON string escaping ('"', '\\', control chars) — shared with the
+/// bench writers that emit nested JSON by hand.
+std::string json_escaped(std::string_view s);
+
+/// Round-trippable JSON number for a double (non-finite values are
+/// written as 0: JSON has no NaN/Inf and the reports must stay loadable).
+std::string json_number(double v);
+
+}  // namespace mclx::obs

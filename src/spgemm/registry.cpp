@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/heap.hpp"
@@ -9,6 +10,21 @@
 #include "util/log.hpp"
 
 namespace mclx::spgemm {
+
+namespace {
+
+/// Metrics hook: which kernel ran and the hybrid-policy decision inputs
+/// (the flops/cf pair §VII-B selects on), so a run report shows *why*
+/// each kernel was chosen, not just how often.
+void report_selection(KernelKind kind, std::uint64_t flops,
+                      double cf_estimate) {
+  if (!obs::metrics()) return;
+  obs::count(std::string("spgemm.kernel.") + std::string(kernel_name(kind)));
+  obs::observe("spgemm.select.flops", static_cast<double>(flops));
+  if (cf_estimate > 0) obs::observe("spgemm.select.cf", cf_estimate);
+}
+
+}  // namespace
 
 KernelKind HybridPolicy::select(std::uint64_t flops, double cf_estimate,
                                 bool gpu_available) const {
@@ -64,6 +80,7 @@ LocalSpgemmResult LocalMultiplier::multiply(const CscD& a, const CscD& b,
       policy_.fixed ? *policy_.fixed
                     : policy_.hybrid.select(flops, cf_estimate,
                                             !devices_.empty());
+  report_selection(kind, flops, cf_estimate);
 
   if (!is_gpu_kernel(kind)) return run_cpu(kind, a, b, flops);
 
@@ -71,6 +88,7 @@ LocalSpgemmResult LocalMultiplier::multiply(const CscD& a, const CscD& b,
     // A GPU kernel was requested on a GPU-less rank: honest fallback.
     LocalSpgemmResult r = run_cpu(KernelKind::kCpuHash, a, b, flops);
     r.gpu_fallback = true;
+    obs::count("spgemm.gpu_fallbacks");
     return r;
   }
 
@@ -89,6 +107,7 @@ LocalSpgemmResult LocalMultiplier::multiply(const CscD& a, const CscD& b,
                     " bytes); falling back to cpu-hash");
     LocalSpgemmResult r = run_cpu(KernelKind::kCpuHash, a, b, flops);
     r.gpu_fallback = true;
+    obs::count("spgemm.gpu_fallbacks");
     return r;
   }
 }

@@ -1,0 +1,314 @@
+// The observability layer: metrics registry semantics, RunReport JSONL
+// round trips, schema stability (the contract BENCH_regression.json and
+// every future perf PR reports against), and the hipmcl_cli-style flow
+// of --metrics-out / --trace-out on a real run.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "core/hipmcl.hpp"
+#include "gen/planted.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "sim/eventlog.hpp"
+#include "sim/machine.hpp"
+#include "sim/timeline.hpp"
+
+namespace {
+
+using namespace mclx;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersAndAccumulators) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("never.bumped"), 0u);
+  EXPECT_EQ(reg.accumulator("never.observed"), nullptr);
+
+  reg.add("a", 2);
+  reg.add("a");
+  reg.add("b", 7);
+  EXPECT_EQ(reg.counter("a"), 3u);
+  EXPECT_EQ(reg.counter("b"), 7u);
+
+  reg.observe("x", 1.5);
+  reg.observe("x", -0.5);
+  reg.observe("x", 4.0);
+  const obs::Accumulator* acc = reg.accumulator("x");
+  ASSERT_NE(acc, nullptr);
+  EXPECT_EQ(acc->count, 3u);
+  EXPECT_DOUBLE_EQ(acc->sum, 5.0);
+  EXPECT_DOUBLE_EQ(acc->min, -0.5);
+  EXPECT_DOUBLE_EQ(acc->max, 4.0);
+  EXPECT_DOUBLE_EQ(acc->mean(), 5.0 / 3.0);
+
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(Metrics, GlobalSinkIsScopedAndNestable) {
+  EXPECT_EQ(obs::metrics(), nullptr);
+  obs::count("dropped.on.floor");  // no registry installed: no-op
+
+  obs::MetricsRegistry outer, inner;
+  {
+    obs::ScopedMetrics outer_scope(outer);
+    obs::count("seen");
+    {
+      obs::ScopedMetrics inner_scope(inner);
+      obs::count("seen");
+      obs::observe("val", 2.0);
+    }
+    obs::count("seen");  // back to outer
+  }
+  EXPECT_EQ(obs::metrics(), nullptr);
+  EXPECT_EQ(outer.counter("seen"), 2u);
+  EXPECT_EQ(inner.counter("seen"), 1u);
+  ASSERT_NE(inner.accumulator("val"), nullptr);
+  EXPECT_EQ(outer.accumulator("val"), nullptr);
+}
+
+// ------------------------------------------------------------ json basics
+
+TEST(RunReportJson, NumberAndStringEncoding) {
+  // Doubles always carry a type marker so the reader can reconstruct the
+  // field type from the token alone.
+  EXPECT_EQ(obs::json_number(5.0), "5.0");
+  EXPECT_EQ(obs::json_number(-1.0), "-1.0");
+  EXPECT_NE(obs::json_number(0.1).find('.'), std::string::npos);
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "0.0");
+
+  EXPECT_EQ(obs::json_escaped("plain"), "plain");
+  EXPECT_EQ(obs::json_escaped("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::json_escaped(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(RunReportJson, RoundTripsEveryValueType) {
+  obs::Record r;
+  r.type = "probe";
+  r.add("flag", true);
+  r.add("off", false);
+  r.add("count", std::uint64_t{18446744073709551615ull});
+  r.add("ratio", 0.30000000000000004);
+  r.add("neg", -1.0);
+  r.add("tiny", 4.9e-324);
+  r.add("label", std::string("quote \" slash \\ nl \n tab \t"));
+
+  obs::RunReport report;
+  report.add(r);
+  std::stringstream ss;
+  report.write_jsonl(ss);
+
+  const obs::RunReport back = obs::RunReport::read_jsonl(ss);
+  ASSERT_EQ(back.records().size(), 1u);
+  const obs::Record& b = back.records()[0];
+  EXPECT_EQ(b.type, "probe");
+  ASSERT_EQ(b.fields.size(), r.fields.size());
+  for (std::size_t i = 0; i < r.fields.size(); ++i) {
+    EXPECT_EQ(b.fields[i].first, r.fields[i].first);
+    EXPECT_EQ(b.fields[i].second, r.fields[i].second)
+        << "field " << r.fields[i].first;
+  }
+}
+
+TEST(RunReportJson, RejectsMalformedLines) {
+  auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return obs::RunReport::read_jsonl(ss);
+  };
+  EXPECT_THROW(parse("{\"no_type\":1}"), std::runtime_error);
+  EXPECT_THROW(parse("{\"type\":\"x\",\"bad\":}"), std::runtime_error);
+  EXPECT_THROW(parse("{\"type\":\"x\"} trailing"), std::runtime_error);
+  EXPECT_THROW(parse("not json at all"), std::runtime_error);
+}
+
+// ------------------------------------------------- full-run report schema
+
+core::MclResult small_run(sim::SimState& sim, obs::MetricsRegistry* registry,
+                          sim::EventLog* trace) {
+  gen::PlantedParams gp;
+  gp.n = 150;
+  gp.seed = 91;
+  const auto g = gen::planted_partition(gp);
+  core::MclParams params;
+  params.prune.select_k = 25;
+  core::HipMclConfig config = core::HipMclConfig::optimized();
+  config.measure_estimation_error = true;
+
+  std::optional<obs::ScopedMetrics> mscope;
+  std::optional<sim::ScopedEventLog> tscope;
+  if (registry) mscope.emplace(*registry);
+  if (trace) tscope.emplace(*trace);
+  return core::run_hipmcl(g.edges, params, config, sim);
+}
+
+TEST(RunReportSchema, OneSchemaValidRecordPerIteration) {
+  obs::MetricsRegistry registry;
+  sim::SimState sim(sim::summit_like(4));
+  const core::MclResult result = small_run(sim, &registry, nullptr);
+  ASSERT_GT(result.iterations, 1);
+
+  obs::RunInfo info;
+  info.workload = "planted:150";
+  info.config = "optimized";
+  info.estimator = "probabilistic";
+  info.nodes = 4;
+  info.nranks = static_cast<std::uint64_t>(sim.nranks());
+  const obs::RunReport report =
+      obs::make_run_report(result, info, &registry);
+
+  std::string why;
+  const auto metas = report.records_of("run_meta");
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_TRUE(obs::matches_schema(*metas[0], obs::run_meta_schema(), &why))
+      << why;
+  EXPECT_EQ(std::get<std::uint64_t>(*metas[0]->find("schema_version")),
+            obs::kReportSchemaVersion);
+
+  const auto iters = report.records_of("iteration");
+  ASSERT_EQ(iters.size(), static_cast<std::size_t>(result.iterations));
+  for (const auto* rec : iters) {
+    EXPECT_TRUE(obs::matches_schema(*rec, obs::iteration_schema(), &why))
+        << why;
+  }
+  // Iteration records carry the real trajectory, in order.
+  for (std::size_t i = 0; i < iters.size(); ++i) {
+    EXPECT_EQ(std::get<std::uint64_t>(*iters[i]->find("iter")), i + 1);
+    EXPECT_EQ(std::get<double>(*iters[i]->find("chaos")),
+              result.iters[i].chaos);
+    // measure_estimation_error was on: the relative error is measured.
+    EXPECT_GE(std::get<double>(*iters[i]->find("estimator_rel_error")), 0.0);
+  }
+
+  const auto summaries = report.records_of("run_summary");
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_TRUE(
+      obs::matches_schema(*summaries[0], obs::run_summary_schema(), &why))
+      << why;
+  EXPECT_EQ(std::get<bool>(*summaries[0]->find("converged")),
+            result.converged);
+
+  // Registry dump made it into the report.
+  EXPECT_FALSE(report.records_of("counter").empty());
+  EXPECT_FALSE(report.records_of("observation").empty());
+}
+
+TEST(RunReportSchema, SurvivesFileRoundTrip) {
+  obs::MetricsRegistry registry;
+  sim::SimState sim(sim::summit_like(4));
+  const core::MclResult result = small_run(sim, &registry, nullptr);
+
+  obs::RunInfo info;
+  info.workload = "planted:150";
+  const obs::RunReport report =
+      obs::make_run_report(result, info, &registry);
+
+  const std::string path = testing::TempDir() + "/run_report.jsonl";
+  report.write_jsonl_file(path);
+  const obs::RunReport back = obs::RunReport::read_jsonl_file(path);
+
+  ASSERT_EQ(back.records().size(), report.records().size());
+  for (std::size_t i = 0; i < report.records().size(); ++i) {
+    const obs::Record& a = report.records()[i];
+    const obs::Record& b = back.records()[i];
+    EXPECT_EQ(a.type, b.type);
+    ASSERT_EQ(a.fields.size(), b.fields.size());
+    for (std::size_t f = 0; f < a.fields.size(); ++f) {
+      EXPECT_EQ(a.fields[f].first, b.fields[f].first);
+      EXPECT_EQ(a.fields[f].second, b.fields[f].second)
+          << a.type << "." << a.fields[f].first;
+    }
+  }
+}
+
+// ------------------------------------------- pipeline-wide instrumentation
+
+TEST(PipelineMetrics, EveryLayerReports) {
+  obs::MetricsRegistry registry;
+  sim::SimState sim(sim::summit_like(4));
+  const core::MclResult result = small_run(sim, &registry, nullptr);
+
+  // core loop
+  EXPECT_EQ(registry.counter("mcl.iterations"),
+            static_cast<std::uint64_t>(result.iterations));
+  ASSERT_NE(registry.accumulator("mcl.chaos"), nullptr);
+  EXPECT_EQ(registry.accumulator("mcl.chaos")->count,
+            static_cast<std::uint64_t>(result.iterations));
+  // planner: one plan per iteration
+  EXPECT_EQ(registry.counter("planner.calls"),
+            static_cast<std::uint64_t>(result.iterations));
+  // summa: one expansion per iteration
+  EXPECT_EQ(registry.counter("summa.calls"),
+            static_cast<std::uint64_t>(result.iterations));
+  // spgemm registry: dim^2 local multiplies per stage, so plenty of them;
+  // every selection also records its decision inputs
+  std::uint64_t kernel_total = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name.rfind("spgemm.kernel.", 0) == 0) kernel_total += value;
+  }
+  EXPECT_GT(kernel_total, 0u);
+  ASSERT_NE(registry.accumulator("spgemm.select.flops"), nullptr);
+  EXPECT_EQ(registry.accumulator("spgemm.select.flops")->count, kernel_total);
+  // merge layer
+  EXPECT_GT(registry.counter("merge.events"), 0u);
+  ASSERT_NE(registry.accumulator("merge.peak_elements"), nullptr);
+  // estimator error (measure_estimation_error was on)
+  ASSERT_NE(registry.accumulator("estimate.rel_error"), nullptr);
+}
+
+TEST(PipelineMetrics, SilentWithoutRegistry) {
+  // No registry installed: the run must behave identically (and not
+  // crash in any instrumented layer).
+  sim::SimState sim_a(sim::summit_like(4));
+  const core::MclResult without = small_run(sim_a, nullptr, nullptr);
+  obs::MetricsRegistry registry;
+  sim::SimState sim_b(sim::summit_like(4));
+  const core::MclResult with = small_run(sim_b, &registry, nullptr);
+  EXPECT_EQ(without.labels, with.labels);
+  EXPECT_EQ(without.iterations, with.iterations);
+  EXPECT_DOUBLE_EQ(without.elapsed, with.elapsed);
+}
+
+// ------------------------------------------------------- cli-shaped flow
+
+TEST(CliObsFlow, MetricsOutAndTraceOutFiles) {
+  // What hipmcl_cli does for --metrics-out/--trace-out, end to end.
+  obs::MetricsRegistry registry;
+  sim::EventLog trace;
+  sim::SimState sim(sim::summit_like(4));
+  const core::MclResult result = small_run(sim, &registry, &trace);
+
+  const std::string metrics_path = testing::TempDir() + "/cli_run.jsonl";
+  obs::RunInfo info;
+  info.workload = "planted:150";
+  obs::make_run_report(result, info, &registry)
+      .write_jsonl_file(metrics_path);
+
+  // One iteration record per MCL iteration, all schema-valid.
+  const obs::RunReport back = obs::RunReport::read_jsonl_file(metrics_path);
+  const auto iters = back.records_of("iteration");
+  EXPECT_EQ(iters.size(), static_cast<std::size_t>(result.iterations));
+  std::string why;
+  for (const auto* rec : iters) {
+    EXPECT_TRUE(obs::matches_schema(*rec, obs::iteration_schema(), &why))
+        << why;
+  }
+
+  // The trace holds real intervals and exports loadable Chrome JSON.
+  EXPECT_GT(trace.size(), 0u);
+  const std::string trace_path = testing::TempDir() + "/cli_run.trace.json";
+  trace.write_chrome_trace_file(trace_path);
+  std::ifstream in(trace_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(text.back(), '}');
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
