@@ -3,7 +3,9 @@
 // (BENCH_regression.json) so successive PRs accumulate a machine-readable
 // perf trajectory. Everything virtual-time and algorithmic in the file is
 // deterministic for a given source tree; only real_wall_s varies between
-// machines, so diffs of the other fields are meaningful.
+// machines, so diffs of the other fields are meaningful — and
+// mclx_perfdiff enforces exactly that split against the committed
+// bench/BENCH_baseline.json (the CI perf gate).
 //
 // The field catalogue and its mapping to the paper's tables/figures is
 // documented in docs/OBSERVABILITY.md ("BENCH_regression.json schema").
@@ -12,20 +14,11 @@
 #include "common.hpp"
 #include "core/quality.hpp"
 #include "gen/planted.hpp"
-
-namespace {
-
-using namespace mclx;
-
-/// Indented key prefix: `lvl` two-space indents + quoted key + ": ".
-std::string key(int lvl, const std::string& name) {
-  return std::string(static_cast<std::size_t>(lvl) * 2, ' ') + '"' +
-         obs::json_escaped(name) + "\": ";
-}
-
-}  // namespace
+#include "obs/json_writer.hpp"
 
 int main(int argc, char** argv) try {
+  using namespace mclx;
+
   util::Cli cli(argc, argv);
   const std::string out_path = cli.get("out", "BENCH_regression.json",
       "where to write the regression report");
@@ -76,80 +69,98 @@ int main(int argc, char** argv) try {
 
   std::ofstream os(out_path);
   if (!os) throw std::runtime_error("cannot write " + out_path);
-  const auto num = [](double v) { return obs::json_number(v); };
 
-  os << "{\n";
-  os << key(1, "schema_version") << 1 << ",\n";
-  os << key(1, "bench") << "\"bench_regression\",\n";
-  os << key(1, "workload") << "{\n";
-  os << key(2, "generator") << "\"planted_partition\",\n";
-  os << key(2, "vertices") << graph.edges.nrows() << ",\n";
-  os << key(2, "edges") << graph.edges.nnz() << ",\n";
-  os << key(2, "seed") << gp.seed << ",\n";
-  os << key(2, "nodes") << nodes << ",\n";
-  os << key(2, "nranks") << sim.nranks() << ",\n";
-  os << key(2, "config") << "\"optimized\",\n";
-  os << key(2, "select_k") << params.prune.select_k << "\n";
-  os << "  },\n";
-  os << key(1, "clustering") << "{\n";
-  os << key(2, "iterations") << result.iterations << ",\n";
-  os << key(2, "converged") << (result.converged ? "true" : "false") << ",\n";
-  os << key(2, "num_clusters") << result.num_clusters << ",\n";
-  os << key(2, "f1") << num(quality.f1) << ",\n";
-  os << key(2, "modularity") << num(mod) << "\n";
-  os << "  },\n";
-  os << key(1, "virtual") << "{\n";
-  os << key(2, "elapsed_s") << num(result.elapsed) << ",\n";
+  obs::JsonWriter w(os);
+  w.begin_object();
+  // Schema version 2: the `distributions` block (histogram percentiles)
+  // joined in PR 3; version 1 had everything else.
+  w.field("schema_version", std::uint64_t{2});
+  w.field("bench", "bench_regression");
+
+  w.begin_object("workload");
+  w.field("generator", "planted_partition");
+  w.field("vertices", static_cast<std::uint64_t>(graph.edges.nrows()));
+  w.field("edges", graph.edges.nnz());
+  w.field("seed", static_cast<std::uint64_t>(gp.seed));
+  w.field("nodes", nodes);
+  w.field("nranks", sim.nranks());
+  w.field("config", "optimized");
+  w.field("select_k", params.prune.select_k);
+  w.end_object();
+
+  w.begin_object("clustering");
+  w.field("iterations", static_cast<std::uint64_t>(result.iterations));
+  w.field("converged", result.converged);
+  w.field("num_clusters", static_cast<std::uint64_t>(result.num_clusters));
+  w.field("f1", quality.f1);
+  w.field("modularity", mod);
+  w.end_object();
+
+  w.begin_object("virtual");
+  w.field("elapsed_s", result.elapsed);
   for (std::size_t s = 0; s < sim::kNumStages; ++s) {
-    // Stage keys match the RunReport iteration fields (t_local_spgemm_s…).
-    static constexpr std::array<std::string_view, sim::kNumStages> kKeys = {
-        "t_local_spgemm_s", "t_mem_estimation_s", "t_summa_bcast_s",
-        "t_merge_s",        "t_prune_s",          "t_other_s",
-    };
-    os << key(2, std::string(kKeys[s])) << num(result.stage_times[s]) << ",\n";
+    // Stage keys shared with the RunReport iteration fields.
+    w.field(obs::stage_field_names()[s], result.stage_times[s]);
   }
-  os << key(2, "cpu_idle_s") << num(result.mean_cpu_idle) << ",\n";
-  os << key(2, "gpu_idle_s") << num(result.mean_gpu_idle) << "\n";
-  os << "  },\n";
-  os << key(1, "summa") << "{\n";
-  os << key(2, "spgemm_s") << num(summa.spgemm) << ",\n";
-  os << key(2, "bcast_s") << num(summa.bcast) << ",\n";
-  os << key(2, "merge_s") << num(summa.merge) << ",\n";
-  os << key(2, "overall_s") << num(summa.overall) << "\n";
-  os << "  },\n";
-  os << key(1, "memory") << "{\n";
-  os << key(2, "merge_peak_elements_sum_max") << merge_peak_sum_max << ",\n";
-  os << key(2, "merge_peak_elements_max") << merge_peak_rank_max << ",\n";
-  os << key(2, "merge_events") << registry.counter("merge.events") << "\n";
-  os << "  },\n";
-  os << key(1, "estimator") << "{\n";
-  os << key(2, "mean_rel_error") << num(est_err ? est_err->mean() : -1) << ",\n";
-  os << key(2, "max_rel_error") << num(est_err && est_err->count ? est_err->max
-                                                                 : -1)
-     << "\n";
-  os << "  },\n";
-  os << key(1, "kernels") << "{";
-  bool first = true;
+  w.field("cpu_idle_s", result.mean_cpu_idle);
+  w.field("gpu_idle_s", result.mean_gpu_idle);
+  w.end_object();
+
+  w.begin_object("summa");
+  w.field("spgemm_s", summa.spgemm);
+  w.field("bcast_s", summa.bcast);
+  w.field("merge_s", summa.merge);
+  w.field("overall_s", summa.overall);
+  w.end_object();
+
+  w.begin_object("memory");
+  w.field("merge_peak_elements_sum_max", merge_peak_sum_max);
+  w.field("merge_peak_elements_max", merge_peak_rank_max);
+  w.field("merge_events", registry.counter("merge.events"));
+  w.end_object();
+
+  w.begin_object("estimator");
+  w.field("mean_rel_error", est_err ? est_err->mean() : -1.0);
+  w.field("max_rel_error", est_err && est_err->count ? est_err->max : -1.0);
+  w.end_object();
+
+  w.begin_object("kernels");
   for (const auto& [name, value] : registry.counters()) {
     const std::string prefix = "spgemm.kernel.";
     if (name.rfind(prefix, 0) != 0) continue;
-    os << (first ? "\n" : ",\n") << key(2, name.substr(prefix.size()))
-       << value;
-    first = false;
+    w.field(name.substr(prefix.size()), value);
   }
-  os << "\n  },\n";
-  os << key(1, "iters") << "[";
-  for (std::size_t i = 0; i < result.iters.size(); ++i) {
-    const auto& it = result.iters[i];
-    os << (i ? "," : "") << "\n    {\"iter\": " << it.iter
-       << ", \"chaos\": " << num(it.chaos)
-       << ", \"nnz\": " << it.nnz_after_prune
-       << ", \"phases\": " << it.phases
-       << ", \"elapsed_s\": " << num(it.elapsed) << "}";
+  w.end_object();
+
+  // Distribution percentiles (all virtual/deterministic): the tails the
+  // mean-only trajectory hides — merge widths, per-call SUMMA times,
+  // broadcast payloads.
+  w.begin_object("distributions");
+  for (const auto& [name, hist] : registry.histograms()) {
+    w.begin_object(name);
+    w.field("count", hist.count());
+    w.field("p50", hist.p50());
+    w.field("p95", hist.p95());
+    w.field("p99", hist.p99());
+    w.field("max", hist.max());
+    w.end_object();
   }
-  os << "\n  ],\n";
-  os << key(1, "real_wall_s") << num(real_wall_s) << "\n";
-  os << "}\n";
+  w.end_object();
+
+  w.begin_array("iters");
+  for (const auto& it : result.iters) {
+    w.begin_object(obs::JsonWriter::Style::kCompact);
+    w.field("iter", static_cast<std::uint64_t>(it.iter));
+    w.field("chaos", it.chaos);
+    w.field("nnz", it.nnz_after_prune);
+    w.field("phases", static_cast<std::uint64_t>(it.phases));
+    w.field("elapsed_s", it.elapsed);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.field("real_wall_s", real_wall_s);
+  w.end_object();
   os.close();
 
   std::cout << "bench_regression: " << result.iterations << " iterations, "

@@ -10,11 +10,14 @@
 //                [--cutoff 1e-4] [--recover 0] [--mem-gb 0]
 //                [--config optimized] [--estimator probabilistic]
 //                [--metrics-out run.jsonl] [--trace-out run.trace.json]
+//                [--analyze]
 //
 // --metrics-out writes the run's JSONL RunReport (one record per MCL
 // iteration plus counters; schema in docs/OBSERVABILITY.md);
 // --trace-out writes the simulated timelines as Chrome-tracing JSON
-// (open in Perfetto / chrome://tracing).
+// (open in Perfetto / chrome://tracing); --analyze prints the trace
+// analytics — overlap efficiency (Table II), per-stage idle attribution
+// (Table V) and the critical path — without needing a trace viewer.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -80,6 +83,9 @@ int main(int argc, char** argv) try {
       "write the run's JSONL metrics report here");
   const std::string trace_out = cli.get("trace-out", "",
       "write a Chrome-tracing JSON of the simulated timelines here");
+  const bool analyze = cli.get_bool("analyze", false,
+      "print trace analytics: overlap efficiency, idle attribution, "
+      "critical path");
   const std::string log_level = cli.get("log", "warn",
       "debug|info|warn|error");
   if (cli.help_requested()) {
@@ -117,7 +123,8 @@ int main(int argc, char** argv) try {
                         : sim::summit_like(nodes));
   std::cout << "machine: " << sim::to_string(sim.machine()) << "\n";
 
-  // Observability sinks, installed only when an output was requested.
+  // Observability sinks, installed only when an output was requested
+  // (--analyze needs the event log even without --trace-out).
   obs::MetricsRegistry registry;
   sim::EventLog trace;
   core::MclResult result;
@@ -125,7 +132,7 @@ int main(int argc, char** argv) try {
     std::optional<obs::ScopedMetrics> metrics_scope;
     std::optional<sim::ScopedEventLog> trace_scope;
     if (!metrics_out.empty()) metrics_scope.emplace(registry);
-    if (!trace_out.empty()) trace_scope.emplace(trace);
+    if (!trace_out.empty() || analyze) trace_scope.emplace(trace);
     result = core::run_hipmcl(network, params, config, sim);
   }
 
@@ -147,6 +154,9 @@ int main(int argc, char** argv) try {
     trace.write_chrome_trace_file(trace_out);
     std::cout << "wrote " << trace.size() << " timeline events to "
               << trace_out << " (open in chrome://tracing or Perfetto)\n";
+  }
+  if (analyze) {
+    obs::print_trace_analysis(std::cout, obs::analyze_trace(trace));
   }
 
   std::cout << (result.converged ? "converged" : "hit iteration cap")

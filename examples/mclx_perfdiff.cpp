@@ -1,0 +1,88 @@
+// mclx_perfdiff: compare two perf reports (BENCH_regression.json or any
+// flat-enough JSON) field by field and gate on the verdict — the
+// enforcement end of the observability pipeline (docs/OBSERVABILITY.md).
+//
+//   mclx_perfdiff <baseline.json> <candidate.json>
+//                 [--rel-tol 1e-9] [--all] [--with-real-wall]
+//                 [--ignore <path-prefix>]...
+//
+// Exit status: 0 when no field regressed (improvements and
+// within-tolerance drift pass), 1 on any regression / missing field,
+// 2 on usage or I/O errors. CI runs this against the committed
+// bench/BENCH_baseline.json so out-of-tolerance deterministic fields
+// fail the build.
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/perf_diff.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: mclx_perfdiff <baseline.json> <candidate.json>\n"
+    "                     [--rel-tol <rel>] [--all] [--with-real-wall]\n"
+    "                     [--ignore <path-prefix>]...\n"
+    "\n"
+    "  --rel-tol <rel>    relative tolerance for numeric fields\n"
+    "                     (default 1e-9: deterministic fields stay strict,\n"
+    "                     cross-compiler FP representation noise passes)\n"
+    "  --all              print every field, not just changed ones\n"
+    "  --with-real-wall   also compare real_wall_s (ignored by default)\n"
+    "  --ignore <prefix>  ignore fields whose dotted path starts with "
+    "<prefix>\n";
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace mclx;
+
+  std::vector<std::string> paths;
+  obs::DiffOptions opt;
+  bool show_all = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--rel-tol") {
+      opt.rel_tol = std::stod(next("--rel-tol"));
+    } else if (arg == "--all") {
+      show_all = true;
+    } else if (arg == "--with-real-wall") {
+      opt.ignore_real_wall = false;
+    } else if (arg == "--ignore") {
+      opt.ignored_prefixes.push_back(next("--ignore"));
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown flag: " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    throw std::invalid_argument("expected exactly two report paths");
+  }
+
+  const obs::FlatDoc baseline = obs::flatten_json_file(paths[0]);
+  const obs::FlatDoc candidate = obs::flatten_json_file(paths[1]);
+  const obs::DiffResult result = obs::diff_reports(baseline, candidate, opt);
+
+  obs::verdict_table(result, show_all).print(std::cout);
+  std::cout << "mclx_perfdiff: " << paths[0] << " vs " << paths[1] << ": "
+            << obs::summarize(result) << "\n";
+  return result.ok() ? 0 : 1;
+} catch (const std::invalid_argument& e) {
+  std::cerr << "mclx_perfdiff: " << e.what() << "\n\n" << kUsage;
+  return 2;
+} catch (const std::exception& e) {
+  std::cerr << "mclx_perfdiff: " << e.what() << "\n";
+  return 2;
+}

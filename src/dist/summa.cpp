@@ -147,13 +147,15 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
       // Row broadcasts of A(i,k); column broadcasts of B(k,j)'s chunk.
       for (int i = 0; i < dim; ++i) {
         const auto group = a.grid().row_ranks(i);
-        sim::sim_bcast(sim, group, a.block(i, k).bytes(), Stage::kSummaBcast);
+        const bytes_t bytes = a.block(i, k).bytes();
+        obs::record("summa.bcast_bytes", static_cast<double>(bytes));
+        sim::sim_bcast(sim, group, bytes, Stage::kSummaBcast);
       }
       for (int j = 0; j < dim; ++j) {
         const auto group = a.grid().col_ranks(j);
-        sim::sim_bcast(sim, group,
-                       b_chunk[static_cast<std::size_t>(j)].bytes(),
-                       Stage::kSummaBcast);
+        const bytes_t bytes = b_chunk[static_cast<std::size_t>(j)].bytes();
+        obs::record("summa.bcast_bytes", static_cast<double>(bytes));
+        sim::sim_bcast(sim, group, bytes, Stage::kSummaBcast);
       }
 
       // Local multiplies.
@@ -303,6 +305,12 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
     obs::observe("summa.overall_s", stats.elapsed);
     obs::observe("summa.cpu_idle_s", stats.cpu_idle);
     obs::observe("summa.gpu_idle_s", stats.gpu_idle);
+    // Per-call distributions (expansion times vary wildly across the
+    // run's iterations; Table II's shape is about the heavy calls).
+    obs::record("summa.spgemm_s", stats.spgemm_time);
+    obs::record("summa.bcast_s", stats.bcast_time);
+    obs::record("summa.merge_s", stats.merge_time);
+    obs::record("summa.overall_s", stats.elapsed);
   }
   return result;
 }

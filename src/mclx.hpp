@@ -44,6 +44,7 @@
 #include "merge/multiway.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/trace_analysis.hpp"
 #include "sim/collectives.hpp"
 #include "sim/eventlog.hpp"
 #include "sim/costmodel.hpp"

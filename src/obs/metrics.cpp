@@ -26,6 +26,14 @@ void MetricsRegistry::observe(std::string_view name, double value) {
   it->second.observe(value);
 }
 
+void MetricsRegistry::record(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.record(value);
+}
+
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
@@ -36,9 +44,15 @@ const Accumulator* MetricsRegistry::accumulator(std::string_view name) const {
   return it == accumulators_.end() ? nullptr : &it->second;
 }
 
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::clear() {
   counters_.clear();
   accumulators_.clear();
+  histograms_.clear();
 }
 
 }  // namespace mclx::obs

@@ -10,30 +10,46 @@
 // and the cost-model symbols they measure, lives in docs/OBSERVABILITY.md.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.hpp"
+
 namespace mclx::obs {
 
 /// Streaming summary of an observed value series: count / sum / min /
-/// max (enough for the per-run reports; full series belong in the
-/// event log, not here).
+/// max / variance (enough for the per-run reports; full series belong
+/// in the event log, full distributions in a Histogram).
 struct Accumulator {
   std::uint64_t count = 0;
   double sum = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  /// Sum of squared deviations from the running mean (Welford's m2).
+  double m2 = 0;
 
   void observe(double value) {
     ++count;
     sum += value;
     if (value < min) min = value;
     if (value > max) max = value;
+    // Welford update, with both means derived from the (single source of
+    // truth) running sum: m2 += (v - mean_before) * (v - mean_after).
+    const double mean_after = sum / static_cast<double>(count);
+    const double mean_before =
+        count > 1 ? (sum - value) / static_cast<double>(count - 1) : value;
+    m2 += (value - mean_before) * (value - mean_after);
   }
   double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  /// Population variance / standard deviation (0 until two observations).
+  double variance() const {
+    return count > 1 ? m2 / static_cast<double>(count) : 0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
 };
 
 class MetricsRegistry {
@@ -44,11 +60,19 @@ class MetricsRegistry {
   /// Feed `value` into accumulator `name`.
   void observe(std::string_view name, double value);
 
+  /// Feed `value` into histogram `name` (log-bucketed distribution with
+  /// percentiles; use alongside observe() when the spread matters, not
+  /// just the mean — merge widths, per-call stage times, payload sizes).
+  void record(std::string_view name, double value);
+
   /// Counter value; 0 for a counter never bumped.
   std::uint64_t counter(std::string_view name) const;
 
   /// Accumulator, or nullptr if nothing was observed under `name`.
   const Accumulator* accumulator(std::string_view name) const;
+
+  /// Histogram, or nullptr if nothing was recorded under `name`.
+  const Histogram* histogram(std::string_view name) const;
 
   const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
     return counters_;
@@ -56,13 +80,19 @@ class MetricsRegistry {
   const std::map<std::string, Accumulator, std::less<>>& accumulators() const {
     return accumulators_;
   }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
 
   void clear();
-  bool empty() const { return counters_.empty() && accumulators_.empty(); }
+  bool empty() const {
+    return counters_.empty() && accumulators_.empty() && histograms_.empty();
+  }
 
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, Accumulator, std::less<>> accumulators_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 /// Global recording sink: when set, instrumented layers report here.
@@ -77,6 +107,9 @@ inline void count(std::string_view name, std::uint64_t delta = 1) {
 }
 inline void observe(std::string_view name, double value) {
   if (MetricsRegistry* m = metrics()) m->observe(name, value);
+}
+inline void record(std::string_view name, double value) {
+  if (MetricsRegistry* m = metrics()) m->record(name, value);
 }
 
 /// RAII scope: record into `registry` for the current scope.

@@ -14,12 +14,6 @@ namespace mclx::obs {
 
 namespace {
 
-/// Stage index -> iteration/summary field name (the six Fig 1 stages).
-constexpr std::array<std::string_view, sim::kNumStages> kStageFields = {
-    "t_local_spgemm_s", "t_mem_estimation_s", "t_summa_bcast_s",
-    "t_merge_s",        "t_prune_s",          "t_other_s",
-};
-
 void write_value(std::ostream& os, const Value& v) {
   switch (type_of(v)) {
     case FieldType::kBool:
@@ -202,11 +196,34 @@ void append_metrics(RunReport& report, const MetricsRegistry& metrics) {
     r.add("sum", acc.sum);
     r.add("min", acc.count ? acc.min : 0.0);
     r.add("max", acc.count ? acc.max : 0.0);
+    r.add("stddev", acc.stddev());
+    report.add(std::move(r));
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    Record r;
+    r.type = "histogram";
+    r.add("name", name);
+    r.add("count", hist.count());
+    r.add("sum", hist.sum());
+    r.add("min", hist.min());
+    r.add("max", hist.max());
+    r.add("p50", hist.p50());
+    r.add("p95", hist.p95());
+    r.add("p99", hist.p99());
     report.add(std::move(r));
   }
 }
 
 }  // namespace
+
+const std::array<std::string_view, sim::kNumStages>& stage_field_names() {
+  static constexpr std::array<std::string_view, sim::kNumStages> kStageFields =
+      {
+          "t_local_spgemm_s", "t_mem_estimation_s", "t_summa_bcast_s",
+          "t_merge_s",        "t_prune_s",          "t_other_s",
+      };
+  return kStageFields;
+}
 
 std::string_view field_type_name(FieldType t) {
   switch (t) {
@@ -289,6 +306,40 @@ const std::vector<FieldSpec>& run_summary_schema() {
       {"t_other_s", FieldType::kDouble},
       {"cpu_idle_s", FieldType::kDouble},
       {"gpu_idle_s", FieldType::kDouble},
+  };
+  return schema;
+}
+
+const std::vector<FieldSpec>& counter_schema() {
+  static const std::vector<FieldSpec> schema = {
+      {"name", FieldType::kString},
+      {"value", FieldType::kUInt},
+  };
+  return schema;
+}
+
+const std::vector<FieldSpec>& observation_schema() {
+  static const std::vector<FieldSpec> schema = {
+      {"name", FieldType::kString},
+      {"count", FieldType::kUInt},
+      {"sum", FieldType::kDouble},
+      {"min", FieldType::kDouble},
+      {"max", FieldType::kDouble},
+      {"stddev", FieldType::kDouble},
+  };
+  return schema;
+}
+
+const std::vector<FieldSpec>& histogram_schema() {
+  static const std::vector<FieldSpec> schema = {
+      {"name", FieldType::kString},
+      {"count", FieldType::kUInt},
+      {"sum", FieldType::kDouble},
+      {"min", FieldType::kDouble},
+      {"max", FieldType::kDouble},
+      {"p50", FieldType::kDouble},
+      {"p95", FieldType::kDouble},
+      {"p99", FieldType::kDouble},
   };
   return schema;
 }
@@ -401,7 +452,7 @@ RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
     r.add("chaos", it.chaos);
     r.add("elapsed_s", it.elapsed);
     for (std::size_t s = 0; s < sim::kNumStages; ++s) {
-      r.add(kStageFields[s], it.stage_times[s]);
+      r.add(stage_field_names()[s], it.stage_times[s]);
     }
     r.add("summa_flops", it.summa.total_flops);
     r.add("summa_spgemm_s", it.summa.spgemm_time);
@@ -427,7 +478,7 @@ RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
   summary.add("num_clusters", static_cast<std::uint64_t>(result.num_clusters));
   summary.add("elapsed_s", result.elapsed);
   for (std::size_t s = 0; s < sim::kNumStages; ++s) {
-    summary.add(kStageFields[s], result.stage_times[s]);
+    summary.add(stage_field_names()[s], result.stage_times[s]);
   }
   summary.add("cpu_idle_s", result.mean_cpu_idle);
   summary.add("gpu_idle_s", result.mean_gpu_idle);

@@ -7,7 +7,10 @@
 //                  breakdown, Tab 2's overlap, Tab 3's merge memory and
 //                  Fig 6's estimator error, in virtual seconds / counts
 //   counter      — one per MetricsRegistry counter (name, value)
-//   observation  — one per MetricsRegistry accumulator (count/sum/min/max)
+//   observation  — one per MetricsRegistry accumulator
+//                  (count/sum/min/max/stddev)
+//   histogram    — one per MetricsRegistry histogram
+//                  (count/sum/min/max/p50/p95/p99)
 //   run_summary  — one per file: whole-run stage budget and outcome
 //
 // Field names, units and the cost-model symbols each metric measures are
@@ -15,6 +18,7 @@
 // here (iteration_schema() etc.) so tests can pin them.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -27,7 +31,15 @@
 
 namespace mclx::obs {
 
-inline constexpr std::uint64_t kReportSchemaVersion = 1;
+/// Version 2: observation records gained `stddev`, the `histogram`
+/// record type was added (both PR 3); version 1 was the initial layout.
+inline constexpr std::uint64_t kReportSchemaVersion = 2;
+
+/// Stage index -> report field name for the six Fig 1 stages
+/// ("t_local_spgemm_s" … "t_other_s"); the single source of truth shared
+/// by the iteration/run_summary records and bench_regression's
+/// `virtual` block.
+const std::array<std::string_view, sim::kNumStages>& stage_field_names();
 
 /// Scalar JSONL field value. Only flat scalars: schema stability is the
 /// point, and nested objects would invite per-PR drift.
@@ -67,6 +79,9 @@ struct FieldSpec {
 const std::vector<FieldSpec>& run_meta_schema();
 const std::vector<FieldSpec>& iteration_schema();
 const std::vector<FieldSpec>& run_summary_schema();
+const std::vector<FieldSpec>& counter_schema();
+const std::vector<FieldSpec>& observation_schema();
+const std::vector<FieldSpec>& histogram_schema();
 
 /// True when `r.fields` matches `schema` exactly (names, order, types);
 /// on mismatch and non-null `why`, a human-readable reason is stored.

@@ -1,0 +1,111 @@
+// Trace analytics: programmatic reading of a sim::EventLog, so the
+// paper's Table II (overlap efficiency of the pipelined Sparse SUMMA)
+// and Table V (per-stage idle attribution) come out of `hipmcl_cli
+// --analyze` / the table benches instead of being eyeballed from a
+// Chrome trace. Three products per trace:
+//
+//  * lane profiles   — per (rank, resource): busy time by stage and the
+//                      internal gaps, each gap attributed to the stage
+//                      of the event that follows it ("waiting to start
+//                      X"), the Table V breakdown;
+//  * overlap         — per rank, the time CPU and GPU are busy
+//                      simultaneously; efficiency = overlapped share of
+//                      the smaller side (1.0 = everything the lighter
+//                      resource does hides behind the other), Table II;
+//  * critical path   — backward walk from the event that ends last,
+//                      chaining each event to the latest-finishing event
+//                      that completed by its start (the thing it was
+//                      plausibly waiting on); busy/wait attribution per
+//                      stage explains what the makespan is made of.
+//
+// All quantities are virtual seconds from the simulator; determinism is
+// inherited from the event log.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/eventlog.hpp"
+#include "sim/stage.hpp"
+#include "util/table.hpp"
+
+namespace mclx::obs {
+
+/// One event on the reconstructed critical path, earliest first.
+struct CriticalSegment {
+  int rank = 0;
+  sim::Resource resource = sim::Resource::kCpu;
+  sim::Stage stage = sim::Stage::kOther;
+  double start = 0;
+  double end = 0;
+  /// Gap between the predecessor's completion and this start (critical
+  /// wait: nothing on the path was running).
+  double wait_before = 0;
+};
+
+/// Per-(rank, resource) reconstruction of one timeline row.
+struct LaneProfile {
+  int rank = 0;
+  sim::Resource resource = sim::Resource::kCpu;
+  double first_start = 0;
+  double last_end = 0;
+  double busy = 0;
+  sim::StageTimes busy_by_stage{};
+  /// Internal gaps only (between this lane's first and last event):
+  /// lead-in/lead-out are excluded so a GPU that simply has no work
+  /// outside SUMMA does not read as "idle" (matching the paper's
+  /// inside-the-pipeline accounting).
+  double idle = 0;
+  sim::StageTimes idle_by_stage{};
+};
+
+struct TraceAnalysis {
+  int nranks = 0;
+  std::size_t nevents = 0;
+  double t_begin = 0;   ///< earliest event start
+  double makespan = 0;  ///< latest event end
+
+  /// One entry per (rank, resource) that has events; rank-major,
+  /// CPU before GPU.
+  std::vector<LaneProfile> lanes;
+
+  // Sums over lanes.
+  sim::StageTimes cpu_busy{};
+  sim::StageTimes gpu_busy{};
+  sim::StageTimes cpu_idle_by_stage{};
+  sim::StageTimes gpu_idle_by_stage{};
+  double cpu_idle = 0;
+  double gpu_idle = 0;
+  double cpu_busy_total = 0;
+  double gpu_busy_total = 0;
+
+  /// Time CPU and GPU of the same rank are busy simultaneously, summed
+  /// over ranks; efficiency = overlap / min(cpu_busy_total,
+  /// gpu_busy_total) (0 when either side is empty).
+  double overlap_s = 0;
+  double overlap_efficiency = 0;
+
+  std::vector<CriticalSegment> critical_path;
+  sim::StageTimes critical_by_stage{};
+  double critical_busy = 0;
+  double critical_wait = 0;
+};
+
+TraceAnalysis analyze_trace(const sim::EventLog& log);
+
+/// Table II analog: per-operation busy time (mean over ranks), span,
+/// span/SpGEMM and the overlap efficiency.
+util::Table overlap_table(const TraceAnalysis& a);
+
+/// Table V analog: per-stage CPU/GPU idle attribution (mean over ranks).
+util::Table idle_attribution_table(const TraceAnalysis& a);
+
+/// Per-stage summary of the critical path (busy/wait seconds and share
+/// of the makespan).
+util::Table critical_path_table(const TraceAnalysis& a);
+
+/// The `--analyze` output: the three tables above, in order.
+void print_trace_analysis(std::ostream& os, const TraceAnalysis& a);
+
+}  // namespace mclx::obs

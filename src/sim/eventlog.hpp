@@ -31,6 +31,11 @@ struct Event {
 class EventLog {
  public:
   void record(const Event& e) { events_.push_back(e); }
+  /// Append every event of `other` (harnesses that trace runs into
+  /// per-run logs for analysis, then fold them into one dump file).
+  void append(const EventLog& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  }
   const std::vector<Event>& events() const { return events_; }
   void clear() { events_.clear(); }
   std::size_t size() const { return events_.size(); }

@@ -21,6 +21,7 @@ void report_selection(KernelKind kind, std::uint64_t flops,
   if (!obs::metrics()) return;
   obs::count(std::string("spgemm.kernel.") + std::string(kernel_name(kind)));
   obs::observe("spgemm.select.flops", static_cast<double>(flops));
+  obs::record("spgemm.select.flops", static_cast<double>(flops));
   if (cf_estimate > 0) obs::observe("spgemm.select.cf", cf_estimate);
 }
 

@@ -50,6 +50,121 @@ TEST(Metrics, CountersAndAccumulators) {
   EXPECT_TRUE(reg.empty());
 }
 
+TEST(Metrics, AccumulatorStddevIsWelfordExact) {
+  obs::MetricsRegistry reg;
+  // Classic textbook set: mean 5, population variance 4, stddev 2.
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    reg.observe("x", v);
+  }
+  const obs::Accumulator* acc = reg.accumulator("x");
+  ASSERT_NE(acc, nullptr);
+  EXPECT_DOUBLE_EQ(acc->mean(), 5.0);
+  EXPECT_NEAR(acc->variance(), 4.0, 1e-12);
+  EXPECT_NEAR(acc->stddev(), 2.0, 1e-12);
+
+  // Degenerate counts: no samples and one sample both report 0 spread.
+  obs::Accumulator empty;
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+  reg.observe("one", 42.0);
+  EXPECT_DOUBLE_EQ(reg.accumulator("one")->stddev(), 0.0);
+
+  // Welford stays finite and accurate with a large offset, where the
+  // naive sum-of-squares formulation loses all significant digits.
+  for (const double v : {1e9 + 1, 1e9 + 2, 1e9 + 3}) reg.observe("big", v);
+  EXPECT_NEAR(reg.accumulator("big")->variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  obs::Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+
+  h.record(3.0);   // (2,4]
+  h.record(4.0);   // (2,4] — boundary stays in its bucket
+  h.record(5.0);   // (4,8]
+  h.record(0.0);   // underflow
+  h.record(-2.0);  // underflow
+  h.record(std::numeric_limits<double>::infinity());  // dropped
+  h.record(std::numeric_limits<double>::quiet_NaN()); // dropped
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.nonpositive(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), -2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  ASSERT_EQ(h.buckets().size(), 2u);
+  EXPECT_EQ(h.buckets().at(2), 2u);  // (2,4]
+  EXPECT_EQ(h.buckets().at(3), 1u);  // (4,8]
+
+  h.clear();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Metrics, HistogramBucketExponentInvariant) {
+  // Every bucket is (2^(e-1), 2^e]: exact powers of two sit at the top
+  // of their bucket, one ulp above starts the next.
+  for (const double v : {1e-6, 0.5, 1.0, 2.0, 3.0, 1024.0, 1e9}) {
+    const int e = obs::Histogram::bucket_exponent(v);
+    EXPECT_GT(v, obs::Histogram::bucket_lo(e)) << v;
+    EXPECT_LE(v, obs::Histogram::bucket_hi(e)) << v;
+  }
+  EXPECT_EQ(obs::Histogram::bucket_exponent(1.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_exponent(2.0), 1);
+  EXPECT_EQ(obs::Histogram::bucket_exponent(2.0000001), 2);
+}
+
+TEST(Metrics, HistogramQuantilesBoundedByBuckets) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+  // Nearest-rank with log-bucket interpolation: the quantile must land
+  // inside the bucket holding that rank, and within the observed range.
+  const double p50 = h.p50();
+  EXPECT_GT(p50, obs::Histogram::bucket_lo(6));  // rank 50 is in (32,64]
+  EXPECT_LE(p50, obs::Histogram::bucket_hi(6));
+  const double p99 = h.p99();
+  EXPECT_GT(p99, 64.0);  // rank 99 is in (64,128], clamped to max=100
+  EXPECT_LE(p99, 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(1e-9));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);  // max clamp
+
+  // Monotone in q.
+  double prev = 0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+
+  // All-nonpositive series: every quantile reports min(min, 0).
+  obs::Histogram neg;
+  neg.record(-5.0);
+  neg.record(-1.0);
+  EXPECT_DOUBLE_EQ(neg.p50(), -5.0);
+}
+
+TEST(Metrics, RegistryRecordFeedsHistograms) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.histogram("never.recorded"), nullptr);
+  reg.record("width", 8.0);
+  reg.record("width", 16.0);
+  const obs::Histogram* h = reg.histogram("width");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_FALSE(reg.empty());
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+
+  // Global helper: no-op without a sink, recorded with one.
+  obs::record("dropped", 1.0);
+  {
+    obs::ScopedMetrics scope(reg);
+    obs::record("seen", 3.0);
+  }
+  EXPECT_EQ(reg.histogram("dropped"), nullptr);
+  ASSERT_NE(reg.histogram("seen"), nullptr);
+}
+
 TEST(Metrics, GlobalSinkIsScopedAndNestable) {
   EXPECT_EQ(obs::metrics(), nullptr);
   obs::count("dropped.on.floor");  // no registry installed: no-op
@@ -196,6 +311,69 @@ TEST(RunReportSchema, OneSchemaValidRecordPerIteration) {
   // Registry dump made it into the report.
   EXPECT_FALSE(report.records_of("counter").empty());
   EXPECT_FALSE(report.records_of("observation").empty());
+}
+
+TEST(RunReportSchema, VersionTwoMetricRecordSchemas) {
+  // Schema v2: observations grew a stddev field and histogram records
+  // joined. Pin the version so a future bump is a conscious act.
+  EXPECT_EQ(obs::kReportSchemaVersion, 2u);
+
+  obs::MetricsRegistry reg;
+  reg.add("calls", 3);
+  reg.observe("width", 4.0);
+  reg.observe("width", 8.0);
+  reg.record("payload", 1024.0);
+  reg.record("payload", 4096.0);
+  const obs::RunReport report = obs::make_metrics_report(reg);
+
+  std::string why;
+  const auto counters = report.records_of("counter");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_TRUE(obs::matches_schema(*counters[0], obs::counter_schema(), &why))
+      << why;
+
+  const auto observations = report.records_of("observation");
+  ASSERT_EQ(observations.size(), 1u);
+  EXPECT_TRUE(
+      obs::matches_schema(*observations[0], obs::observation_schema(), &why))
+      << why;
+  EXPECT_DOUBLE_EQ(std::get<double>(*observations[0]->find("stddev")), 2.0);
+
+  const auto histograms = report.records_of("histogram");
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_TRUE(
+      obs::matches_schema(*histograms[0], obs::histogram_schema(), &why))
+      << why;
+  EXPECT_EQ(std::get<std::uint64_t>(*histograms[0]->find("count")), 2u);
+  const double p99 = std::get<double>(*histograms[0]->find("p99"));
+  EXPECT_GT(p99, 1024.0);
+  EXPECT_LE(p99, 4096.0);
+}
+
+TEST(RunReportSchema, RealRunEmitsDistributionHistograms) {
+  // The pipeline instrumentation records first-class distributions:
+  // merge widths, per-call SUMMA stage times, broadcast payloads.
+  obs::MetricsRegistry registry;
+  sim::SimState sim(sim::summit_like(4));
+  small_run(sim, &registry, nullptr);
+
+  for (const std::string name :
+       {"merge.ways", "merge.peak_elements", "summa.spgemm_s",
+        "summa.bcast_s", "summa.merge_s", "summa.overall_s",
+        "summa.bcast_bytes", "spgemm.select.flops"}) {
+    const obs::Histogram* h = registry.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count(), 0u) << name;
+  }
+
+  const obs::RunReport report = obs::make_metrics_report(registry);
+  std::string why;
+  const auto histograms = report.records_of("histogram");
+  EXPECT_GE(histograms.size(), 8u);
+  for (const auto* rec : histograms) {
+    EXPECT_TRUE(obs::matches_schema(*rec, obs::histogram_schema(), &why))
+        << why;
+  }
 }
 
 TEST(RunReportSchema, SurvivesFileRoundTrip) {

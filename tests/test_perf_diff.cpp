@@ -1,0 +1,250 @@
+// The perf gate: JSON flattening, per-field direction/tolerance policy,
+// the three verdict outcomes (equal / improved / regressed) the CI step
+// depends on, and the file-based flow mclx_perfdiff wraps.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/perf_diff.hpp"
+
+namespace {
+
+using namespace mclx;
+using obs::Verdict;
+
+// ------------------------------------------------------------- flattening
+
+TEST(FlattenJson, NestedObjectsAndArraysBecomeDottedPaths) {
+  const obs::FlatDoc doc = obs::flatten_json(R"({
+    "schema_version": 2,
+    "workload": {"generator": "planted_partition", "vertices": 480},
+    "clustering": {"converged": true, "f1": 0.875},
+    "iters": [{"chaos": 0.5}, {"chaos": 0.25}],
+    "nothing": null
+  })");
+
+  ASSERT_TRUE(doc.count("schema_version"));
+  EXPECT_EQ(doc.at("schema_version").kind, obs::FlatValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 2.0);
+
+  EXPECT_EQ(doc.at("workload.generator").kind,
+            obs::FlatValue::Kind::kString);
+  EXPECT_EQ(doc.at("workload.generator").text, "planted_partition");
+  EXPECT_DOUBLE_EQ(doc.at("workload.vertices").number, 480.0);
+
+  EXPECT_EQ(doc.at("clustering.converged").kind,
+            obs::FlatValue::Kind::kBool);
+  EXPECT_DOUBLE_EQ(doc.at("clustering.converged").number, 1.0);
+
+  EXPECT_DOUBLE_EQ(doc.at("iters.0.chaos").number, 0.5);
+  EXPECT_DOUBLE_EQ(doc.at("iters.1.chaos").number, 0.25);
+  EXPECT_EQ(doc.at("nothing").kind, obs::FlatValue::Kind::kNull);
+}
+
+TEST(FlattenJson, RejectsMalformedInput) {
+  EXPECT_THROW(obs::flatten_json("{"), std::runtime_error);
+  EXPECT_THROW(obs::flatten_json("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(obs::flatten_json("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(obs::flatten_json("nope"), std::runtime_error);
+  EXPECT_THROW(obs::flatten_json_file("/nonexistent/report.json"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------- verdict policy
+
+obs::FlatDoc baseline_doc() {
+  return obs::flatten_json(R"({
+    "virtual": {"elapsed_s": 100.0, "cpu_idle_s": 10.0},
+    "clustering": {"iterations": 12, "f1": 0.9, "modularity": 0.5},
+    "memory": {"merge_peak_elements_max": 5000},
+    "estimator": {"mean_rel_error": 0.05},
+    "real_wall_s": 3.2
+  })");
+}
+
+std::string replaced(std::string text, const std::string& from,
+                     const std::string& to) {
+  text.replace(text.find(from), from.size(), to);
+  return text;
+}
+
+const obs::FieldDiff* field(const obs::DiffResult& d,
+                            const std::string& path) {
+  for (const auto& f : d.fields) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+TEST(PerfDiff, IdenticalReportsPass) {
+  const obs::DiffResult d = obs::diff_reports(baseline_doc(), baseline_doc());
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.count(Verdict::kRegressed), 0u);
+  EXPECT_EQ(d.count(Verdict::kImproved), 0u);
+  // real_wall_s is policy-ignored even when equal.
+  ASSERT_NE(field(d, "real_wall_s"), nullptr);
+  EXPECT_EQ(field(d, "real_wall_s")->verdict, Verdict::kIgnored);
+  EXPECT_NE(obs::summarize(d).find("OK"), std::string::npos);
+}
+
+TEST(PerfDiff, TimeIncreaseRegressesTimeDecreaseImproves) {
+  obs::FlatDoc slower = baseline_doc();
+  slower["virtual.elapsed_s"].number = 110.0;
+  obs::DiffResult d = obs::diff_reports(baseline_doc(), slower);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(field(d, "virtual.elapsed_s")->verdict, Verdict::kRegressed);
+  EXPECT_NE(obs::summarize(d).find("REGRESSED"), std::string::npos);
+
+  obs::FlatDoc faster = baseline_doc();
+  faster["virtual.elapsed_s"].number = 90.0;
+  d = obs::diff_reports(baseline_doc(), faster);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(field(d, "virtual.elapsed_s")->verdict, Verdict::kImproved);
+}
+
+TEST(PerfDiff, DirectionalFamilies) {
+  // idle: lower is better.
+  obs::FlatDoc c = baseline_doc();
+  c["virtual.cpu_idle_s"].number = 5.0;
+  EXPECT_EQ(field(obs::diff_reports(baseline_doc(), c),
+                  "virtual.cpu_idle_s")->verdict,
+            Verdict::kImproved);
+
+  // quality: higher is better.
+  c = baseline_doc();
+  c["clustering.f1"].number = 0.95;
+  EXPECT_EQ(field(obs::diff_reports(baseline_doc(), c),
+                  "clustering.f1")->verdict,
+            Verdict::kImproved);
+  c["clustering.f1"].number = 0.8;
+  EXPECT_EQ(field(obs::diff_reports(baseline_doc(), c),
+                  "clustering.f1")->verdict,
+            Verdict::kRegressed);
+
+  // memory and estimator error: lower is better.
+  c = baseline_doc();
+  c["memory.merge_peak_elements_max"].number = 4000;
+  EXPECT_EQ(field(obs::diff_reports(baseline_doc(), c),
+                  "memory.merge_peak_elements_max")->verdict,
+            Verdict::kImproved);
+  c = baseline_doc();
+  c["estimator.mean_rel_error"].number = 0.10;
+  EXPECT_EQ(field(obs::diff_reports(baseline_doc(), c),
+                  "estimator.mean_rel_error")->verdict,
+            Verdict::kRegressed);
+}
+
+TEST(PerfDiff, NeutralFieldAnyChangeRegresses) {
+  // Iteration counts are deterministic: moving in *either* direction is
+  // a behavior change the gate must flag.
+  obs::FlatDoc c = baseline_doc();
+  c["clustering.iterations"].number = 11;
+  EXPECT_EQ(field(obs::diff_reports(baseline_doc(), c),
+                  "clustering.iterations")->verdict,
+            Verdict::kRegressed);
+  c["clustering.iterations"].number = 13;
+  EXPECT_EQ(field(obs::diff_reports(baseline_doc(), c),
+                  "clustering.iterations")->verdict,
+            Verdict::kRegressed);
+}
+
+TEST(PerfDiff, ToleranceAbsorbsFloatNoise) {
+  obs::FlatDoc c = baseline_doc();
+  c["virtual.elapsed_s"].number = 100.0 * (1 + 1e-12);
+  obs::DiffResult d = obs::diff_reports(baseline_doc(), c);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(field(d, "virtual.elapsed_s")->verdict,
+            Verdict::kWithinTolerance);
+
+  // A loosened gate (the CI step passes --rel-tol 1e-6) lets bigger
+  // drift through.
+  obs::DiffOptions loose;
+  loose.rel_tol = 1e-6;
+  c["virtual.elapsed_s"].number = 100.0 * (1 + 1e-7);
+  EXPECT_TRUE(obs::diff_reports(baseline_doc(), c, loose).ok());
+}
+
+TEST(PerfDiff, RealWallIgnoredByDefaultComparableOnRequest) {
+  obs::FlatDoc c = baseline_doc();
+  c["real_wall_s"].number = 1000.0;  // wildly slower machine
+  EXPECT_TRUE(obs::diff_reports(baseline_doc(), c).ok());
+
+  obs::DiffOptions opt;
+  opt.ignore_real_wall = false;
+  const obs::DiffResult d = obs::diff_reports(baseline_doc(), c, opt);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(field(d, "real_wall_s")->verdict, Verdict::kRegressed);
+}
+
+TEST(PerfDiff, MissingFailsAddedDoesNot) {
+  obs::FlatDoc missing = baseline_doc();
+  missing.erase("clustering.f1");
+  obs::DiffResult d = obs::diff_reports(baseline_doc(), missing);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(field(d, "clustering.f1")->verdict, Verdict::kMissing);
+
+  obs::FlatDoc added = baseline_doc();
+  added["distributions.merge.ways.p99"] = {obs::FlatValue::Kind::kNumber,
+                                           8.0, "8.0"};
+  d = obs::diff_reports(baseline_doc(), added);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.count(Verdict::kAdded), 1u);
+}
+
+TEST(PerfDiff, TypeFlipAndStringChangeRegress) {
+  obs::FlatDoc c = obs::flatten_json(
+      R"({"workload": {"config": "optimized"}, "flag": true})");
+  obs::FlatDoc b = c;
+
+  c["workload.config"].text = "original";
+  EXPECT_FALSE(obs::diff_reports(b, c).ok());
+
+  c = b;
+  c["flag"] = {obs::FlatValue::Kind::kNumber, 1.0, "1"};
+  EXPECT_FALSE(obs::diff_reports(b, c).ok());
+}
+
+TEST(PerfDiff, IgnoredPrefixes) {
+  obs::FlatDoc c = baseline_doc();
+  c["estimator.mean_rel_error"].number = 0.5;
+  obs::DiffOptions opt;
+  opt.ignored_prefixes.push_back("estimator.");
+  const obs::DiffResult d = obs::diff_reports(baseline_doc(), c, opt);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(field(d, "estimator.mean_rel_error")->verdict,
+            Verdict::kIgnored);
+}
+
+// ---------------------------------------------------- file-based (golden)
+
+TEST(PerfDiffFiles, GateFlowOverFiles) {
+  // What CI does: flatten two files, diff, act on ok(). An identical
+  // copy passes; a perturbed deterministic field fails.
+  const std::string base_path = testing::TempDir() + "/gate_base.json";
+  const std::string same_path = testing::TempDir() + "/gate_same.json";
+  const std::string worse_path = testing::TempDir() + "/gate_worse.json";
+
+  const std::string text = R"({
+    "virtual": {"elapsed_s": 100.0},
+    "clustering": {"iterations": 12},
+    "real_wall_s": 3.2
+  })";
+  std::ofstream(base_path) << text;
+  std::ofstream(same_path) << text;
+  std::ofstream(worse_path)
+      << replaced(replaced(text, "100.0", "120.0"), "3.2", "99.0");
+
+  const obs::FlatDoc base = obs::flatten_json_file(base_path);
+  EXPECT_TRUE(
+      obs::diff_reports(base, obs::flatten_json_file(same_path)).ok());
+
+  const obs::DiffResult d =
+      obs::diff_reports(base, obs::flatten_json_file(worse_path));
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(field(d, "virtual.elapsed_s")->verdict, Verdict::kRegressed);
+  // The wall-clock change alone must not fail anything.
+  EXPECT_EQ(field(d, "real_wall_s")->verdict, Verdict::kIgnored);
+}
+
+}  // namespace
