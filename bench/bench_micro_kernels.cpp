@@ -13,9 +13,11 @@
 #include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
+#include "spgemm/hash_parallel.hpp"
 #include "spgemm/heap.hpp"
 #include "spgemm/kernels.hpp"
 #include "spgemm/spa.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -94,6 +96,20 @@ void BM_CpuSpa(benchmark::State& state) {
   run_kernel(state, spgemm::KernelKind::kCpuSpa,
              [](const C& a, const C& b) { return spgemm::spa_spgemm(a, b); });
 }
+/// The pooled kernel at an explicit thread count (second range arg), so
+/// one run shows the real multicore scaling curve next to the
+/// single-thread kernels. Genuine wall-clock speedup over BM_CpuHash is
+/// the tentpole's acceptance signal on multicore hosts.
+void BM_CpuHashPar(benchmark::State& state) {
+  const auto nthreads = static_cast<int>(state.range(1));
+  par::set_threads(nthreads);
+  run_kernel(state, spgemm::KernelKind::kCpuHashParallel,
+             [nthreads](const C& a, const C& b) {
+               return spgemm::parallel_hash_spgemm(a, b, nthreads);
+             });
+  state.counters["threads"] = static_cast<double>(nthreads);
+  par::set_threads(0);
+}
 void BM_GpuEsc(benchmark::State& state) {
   run_kernel(state, spgemm::KernelKind::kGpuBhsparse,
              [](const C& a, const C& b) { return gpuk::esc_spgemm(a, b); });
@@ -106,6 +122,9 @@ void BM_GpuRmerge(benchmark::State& state) {
 BENCHMARK(BM_CpuHeap)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CpuHash)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CpuSpa)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CpuHashPar)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GpuEsc)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GpuRmerge)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 

@@ -86,21 +86,26 @@ inline core::MclParams standard_params(int select_k = 60) {
 
 /// One full HipMCL run; wall time of the *real* computation is printed to
 /// stderr so cost-model drift stays visible next to virtual seconds.
+/// `real_wall_s` (when given) receives that measured wall time so benches
+/// can put genuine multicore columns next to the virtual ones.
 inline core::MclResult run(const gen::Dataset& data, int nodes,
                            const core::HipMclConfig& config,
                            const core::MclParams& params,
                            sim::NodeMode mode = sim::NodeMode::kThreadBased,
-                           int gpus = 6, bool cpu_only = false) {
+                           int gpus = 6, bool cpu_only = false,
+                           double* real_wall_s = nullptr) {
   auto machine = cpu_only ? sim::summit_like_cpu_only(nodes)
                           : sim::summit_like(nodes, mode, gpus);
   sim::SimState sim(machine);
   util::WallTimer wall;
   core::MclResult result = core::run_hipmcl(data.graph.edges, params, config,
                                             sim);
+  const double real_s = wall.elapsed_s();
+  if (real_wall_s) *real_wall_s = real_s;
   std::cerr << "[bench] " << data.name << " @" << nodes << " nodes: "
             << result.iterations << " iters, virtual "
             << util::Table::fmt(result.elapsed, 1) << "s, real "
-            << util::Table::fmt(wall.elapsed_s(), 1) << "s\n";
+            << util::Table::fmt(real_s, 1) << "s\n";
   return result;
 }
 

@@ -88,6 +88,7 @@ int main(int argc, char** argv) try {
       "critical path");
   const std::string log_level = cli.get("log", "warn",
       "debug|info|warn|error");
+  const int nthreads = par::register_threads_flag(cli);
   if (cli.help_requested()) {
     std::cout << cli.usage();
     return 0;
@@ -121,7 +122,9 @@ int main(int argc, char** argv) try {
   sim::SimState sim(config_name == "original"
                         ? sim::summit_like_cpu_only(nodes)
                         : sim::summit_like(nodes));
-  std::cout << "machine: " << sim::to_string(sim.machine()) << "\n";
+  std::cout << "machine: " << sim::to_string(sim.machine()) << " ("
+            << nthreads << " worker thread" << (nthreads == 1 ? "" : "s")
+            << " per rank)\n";
 
   // Observability sinks, installed only when an output was requested
   // (--analyze needs the event log even without --trace-out).
@@ -145,6 +148,7 @@ int main(int argc, char** argv) try {
     info.nranks = static_cast<std::uint64_t>(sim.nranks());
     info.vertices = static_cast<std::uint64_t>(network.nrows());
     info.edges = network.nnz();
+    info.threads = static_cast<std::uint64_t>(nthreads);
     obs::make_run_report(result, info, &registry)
         .write_jsonl_file(metrics_out);
     std::cout << "wrote metrics report (" << result.iterations

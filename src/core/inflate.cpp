@@ -4,6 +4,7 @@
 
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
+#include "util/parallel.hpp"
 
 namespace mclx::core {
 
@@ -14,6 +15,12 @@ using sim::Stage;
 /// Column sums of grid column j, then divide every block's entries by
 /// their column's sum. The partial-sum exchange is one allreduce along
 /// the grid column.
+///
+/// Within a block, DCSC nonzero columns map to distinct local column
+/// ids, so both the partial-sum and divide sweeps chunk over nz columns
+/// on the shared pool with no write conflicts; per-column accumulation
+/// order is the storage order regardless of chunking, keeping results
+/// bit-identical at any thread count.
 void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
                             bool charge_pow) {
   const sim::CostModel model(sim.machine());
@@ -24,10 +31,12 @@ void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
     std::vector<val_t> sums(ncols, 0.0);
     for (int i = 0; i < dim; ++i) {
       const dist::DcscD& b = m.block(i, j);
-      for (vidx_t k = 0; k < b.nzc(); ++k) {
-        const auto c = static_cast<std::size_t>(b.nz_col_id(k));
-        for (const val_t v : b.nz_col_vals(k)) sums[c] += v;
-      }
+      par::parallel_chunks(vidx_t{0}, b.nzc(), [&](vidx_t k0, vidx_t k1, int) {
+        for (vidx_t k = k0; k < k1; ++k) {
+          const auto c = static_cast<std::size_t>(b.nz_col_id(k));
+          for (const val_t v : b.nz_col_vals(k)) sums[c] += v;
+        }
+      });
       // Local partial-sum pass.
       const int rank = m.grid().rank_of(i, j);
       sim.rank(rank).cpu_run(
@@ -43,13 +52,15 @@ void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
     for (int i = 0; i < dim; ++i) {
       dist::DcscD& b = m.mutable_block(i, j);
       auto& num = b.num_mutable();
-      for (vidx_t k = 0; k < b.nzc(); ++k) {
-        const auto c = static_cast<std::size_t>(b.nz_col_id(k));
-        if (sums[c] == 0.0) continue;
-        for (vidx_t p = b.cp()[k]; p < b.cp()[k + 1]; ++p) {
-          num[static_cast<std::size_t>(p)] /= sums[c];
+      par::parallel_chunks(vidx_t{0}, b.nzc(), [&](vidx_t k0, vidx_t k1, int) {
+        for (vidx_t k = k0; k < k1; ++k) {
+          const auto c = static_cast<std::size_t>(b.nz_col_id(k));
+          if (sums[c] == 0.0) continue;
+          for (vidx_t p = b.cp()[k]; p < b.cp()[k + 1]; ++p) {
+            num[static_cast<std::size_t>(p)] /= sums[c];
+          }
         }
-      }
+      });
       sim.rank(m.grid().rank_of(i, j))
           .cpu_run(Stage::kOther, model.inflate(b.nnz()));
     }
@@ -59,11 +70,14 @@ void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
 }  // namespace
 
 void distributed_inflate(dist::DistMat& m, double power, sim::SimState& sim) {
-  // Hadamard power: purely local.
+  // Hadamard power: purely local, elementwise — chunked on the pool.
   for (int i = 0; i < m.dim(); ++i) {
     for (int j = 0; j < m.dim(); ++j) {
       dist::DcscD& b = m.mutable_block(i, j);
-      for (auto& v : b.num_mutable()) v = std::pow(v, power);
+      auto& num = b.num_mutable();
+      par::parallel_for(std::size_t{0}, num.size(), [&](std::size_t p) {
+        num[p] = std::pow(num[p], power);
+      });
     }
   }
   normalize_grid_columns(m, sim, /*charge_pow=*/true);

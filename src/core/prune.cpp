@@ -8,6 +8,7 @@
 #include "sim/costmodel.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace mclx::core {
 
@@ -20,6 +21,12 @@ using sim::Stage;
 /// row block). Entries below the cutoff are discarded, then columns left
 /// with fewer than recover_num survivors get their largest discards back.
 /// Returns the total entries processed (for cost charging).
+///
+/// Columns are independent throughout, so each phase runs column-chunked
+/// on the shared thread pool: keep flags and survivor counts are owned by
+/// exactly one column, recovery touches only its own column's discards,
+/// and the rebuild writes through per-column offsets. Results do not
+/// depend on the chunking.
 std::uint64_t cutoff_with_recovery(std::vector<dist::CscD*>& pieces,
                                    val_t cutoff, int recover_num) {
   if (pieces.empty()) return 0;
@@ -33,68 +40,100 @@ std::uint64_t cutoff_with_recovery(std::vector<dist::CscD*>& pieces,
     const dist::CscD& piece = *pieces[i];
     keep[i].assign(piece.nnz(), 0);
     processed += piece.nnz();
-    for (vidx_t c = 0; c < ncols; ++c) {
-      for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
-        if (std::abs(piece.vals()[p]) >= cutoff) {
-          keep[i][static_cast<std::size_t>(p)] = 1;
-          ++survivors[static_cast<std::size_t>(c)];
+    par::parallel_chunks(vidx_t{0}, ncols, [&](vidx_t c0, vidx_t c1, int) {
+      for (vidx_t c = c0; c < c1; ++c) {
+        for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
+          if (std::abs(piece.vals()[p]) >= cutoff) {
+            keep[i][static_cast<std::size_t>(p)] = 1;
+            ++survivors[static_cast<std::size_t>(c)];
+          }
         }
       }
-    }
+    });
   }
 
   if (recover_num > 0) {
-    // Recover the largest discards of deficient columns.
+    // Recover the largest discards of deficient columns. Each deficient
+    // column is processed independently with per-chunk scratch.
     struct Discard {
       val_t magnitude;
       std::size_t piece;
       vidx_t pos;
     };
-    std::vector<Discard> discards;
+    std::vector<vidx_t> deficient;
     for (vidx_t c = 0; c < ncols; ++c) {
-      const vidx_t have = survivors[static_cast<std::size_t>(c)];
-      if (have >= recover_num) continue;
-      discards.clear();
-      for (std::size_t i = 0; i < pieces.size(); ++i) {
-        const dist::CscD& piece = *pieces[i];
-        for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
-          if (!keep[i][static_cast<std::size_t>(p)]) {
-            discards.push_back({std::abs(piece.vals()[p]), i, p});
-          }
-        }
-      }
-      const auto want = static_cast<std::size_t>(
-          std::min<vidx_t>(recover_num - have,
-                           static_cast<vidx_t>(discards.size())));
-      std::partial_sort(discards.begin(), discards.begin() + want,
-                        discards.end(), [](const auto& x, const auto& y) {
-                          if (x.magnitude != y.magnitude)
-                            return x.magnitude > y.magnitude;
-                          return std::tie(x.piece, x.pos) <
-                                 std::tie(y.piece, y.pos);
-                        });
-      for (std::size_t q = 0; q < want; ++q) {
-        keep[discards[q].piece][static_cast<std::size_t>(discards[q].pos)] = 1;
-      }
+      if (survivors[static_cast<std::size_t>(c)] < recover_num)
+        deficient.push_back(c);
     }
+    par::parallel_chunks(
+        std::size_t{0}, deficient.size(),
+        [&](std::size_t d0, std::size_t d1, int) {
+          std::vector<Discard> discards;
+          for (std::size_t d = d0; d < d1; ++d) {
+            const vidx_t c = deficient[d];
+            const vidx_t have = survivors[static_cast<std::size_t>(c)];
+            discards.clear();
+            for (std::size_t i = 0; i < pieces.size(); ++i) {
+              const dist::CscD& piece = *pieces[i];
+              for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1];
+                   ++p) {
+                if (!keep[i][static_cast<std::size_t>(p)]) {
+                  discards.push_back({std::abs(piece.vals()[p]), i, p});
+                }
+              }
+            }
+            const auto want = static_cast<std::size_t>(
+                std::min<vidx_t>(recover_num - have,
+                                 static_cast<vidx_t>(discards.size())));
+            std::partial_sort(discards.begin(), discards.begin() + want,
+                              discards.end(),
+                              [](const auto& x, const auto& y) {
+                                if (x.magnitude != y.magnitude)
+                                  return x.magnitude > y.magnitude;
+                                return std::tie(x.piece, x.pos) <
+                                       std::tie(y.piece, y.pos);
+                              });
+            for (std::size_t q = 0; q < want; ++q) {
+              keep[discards[q].piece]
+                  [static_cast<std::size_t>(discards[q].pos)] = 1;
+            }
+          }
+        });
   }
 
-  // Rebuild each piece.
+  // Rebuild each piece: per-column kept counts -> prefix-sum offsets ->
+  // column-chunked scatter into the preallocated arrays.
   for (std::size_t i = 0; i < pieces.size(); ++i) {
     const dist::CscD& piece = *pieces[i];
     std::vector<vidx_t> colptr(static_cast<std::size_t>(ncols) + 1, 0);
-    std::vector<vidx_t> rowids;
-    std::vector<val_t> vals;
+    par::parallel_chunks(vidx_t{0}, ncols, [&](vidx_t c0, vidx_t c1, int) {
+      for (vidx_t c = c0; c < c1; ++c) {
+        vidx_t kept = 0;
+        for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
+          if (keep[i][static_cast<std::size_t>(p)]) ++kept;
+        }
+        colptr[static_cast<std::size_t>(c) + 1] = kept;
+      }
+    });
     for (vidx_t c = 0; c < ncols; ++c) {
-      for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
-        if (keep[i][static_cast<std::size_t>(p)]) {
-          rowids.push_back(piece.rowids()[p]);
-          vals.push_back(piece.vals()[p]);
+      colptr[static_cast<std::size_t>(c) + 1] +=
+          colptr[static_cast<std::size_t>(c)];
+    }
+    std::vector<vidx_t> rowids(
+        static_cast<std::size_t>(colptr[static_cast<std::size_t>(ncols)]));
+    std::vector<val_t> vals(rowids.size());
+    par::parallel_chunks(vidx_t{0}, ncols, [&](vidx_t c0, vidx_t c1, int) {
+      for (vidx_t c = c0; c < c1; ++c) {
+        auto dst = static_cast<std::size_t>(colptr[static_cast<std::size_t>(c)]);
+        for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
+          if (keep[i][static_cast<std::size_t>(p)]) {
+            rowids[dst] = piece.rowids()[p];
+            vals[dst] = piece.vals()[p];
+            ++dst;
+          }
         }
       }
-      colptr[static_cast<std::size_t>(c) + 1] =
-          static_cast<vidx_t>(rowids.size());
-    }
+    });
     *pieces[i] = dist::CscD(piece.nrows(), ncols, std::move(colptr),
                             std::move(rowids), std::move(vals));
   }

@@ -6,6 +6,7 @@
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
 #include "sparse/convert.hpp"
+#include "util/parallel.hpp"
 
 namespace mclx::dist {
 
@@ -31,6 +32,13 @@ bool candidate_before(const Candidate& x, const Candidate& y) {
 /// Exact top-k over a set of per-owner CSC pieces sharing a local column
 /// range. `pieces[i]` is owner i's matrix; selection is applied in place
 /// by rebuilding each piece.
+///
+/// Per-column selections are independent (keep-mask writes are confined
+/// to the column's own nnz positions in every piece), so the selection
+/// loop chunks over columns on the shared pool with per-chunk scratch;
+/// the nth_element tie-break is fully deterministic, so results do not
+/// depend on the chunking. The rebuild scatters through per-column
+/// offsets the same way.
 void select_topk_over_pieces(std::vector<CscD*>& pieces, int k) {
   if (pieces.empty()) return;
   const vidx_t ncols = pieces.front()->ncols();
@@ -40,58 +48,79 @@ void select_topk_over_pieces(std::vector<CscD*>& pieces, int k) {
   for (std::size_t i = 0; i < pieces.size(); ++i)
     keep[i].assign(pieces[i]->nnz(), 0);
 
-  std::vector<Candidate> cands;
-  // Remember where each candidate came from so the mask can be set.
-  std::vector<std::size_t> positions;
+  par::parallel_chunks(vidx_t{0}, ncols, [&](vidx_t c0, vidx_t c1, int) {
+    std::vector<Candidate> cands;
+    // Remember where each candidate came from so the mask can be set.
+    std::vector<std::size_t> positions;
+    std::vector<std::size_t> order;
 
-  for (vidx_t c = 0; c < ncols; ++c) {
-    cands.clear();
-    positions.clear();
-    for (std::size_t i = 0; i < pieces.size(); ++i) {
-      const CscD& p = *pieces[i];
-      const auto rows = p.col_rows(c);
-      const auto vals = p.col_vals(c);
-      for (std::size_t q = 0; q < rows.size(); ++q) {
-        cands.push_back({vals[q], static_cast<int>(i), rows[q]});
-        positions.push_back(static_cast<std::size_t>(p.colptr()[c]) + q);
-      }
-    }
-    if (static_cast<int>(cands.size()) <= k) {
-      for (std::size_t q = 0; q < cands.size(); ++q) {
-        keep[static_cast<std::size_t>(cands[q].owner)][positions[q]] = 1;
-      }
-      continue;
-    }
-    // Partial selection: find the k best (deterministic tie-break).
-    std::vector<std::size_t> order(cands.size());
-    for (std::size_t q = 0; q < order.size(); ++q) order[q] = q;
-    std::nth_element(order.begin(), order.begin() + k, order.end(),
-                     [&](std::size_t x, std::size_t y) {
-                       return candidate_before(cands[x], cands[y]);
-                     });
-    for (int q = 0; q < k; ++q) {
-      const std::size_t idx = order[static_cast<std::size_t>(q)];
-      keep[static_cast<std::size_t>(cands[idx].owner)][positions[idx]] = 1;
-    }
-  }
-
-  // Rebuild each piece with only the kept entries.
-  for (std::size_t i = 0; i < pieces.size(); ++i) {
-    const CscD& p = *pieces[i];
-    std::vector<vidx_t> colptr(static_cast<std::size_t>(p.ncols()) + 1, 0);
-    std::vector<vidx_t> rowids;
-    std::vector<val_t> vals;
-    for (vidx_t c = 0; c < p.ncols(); ++c) {
-      for (vidx_t q = p.colptr()[c]; q < p.colptr()[c + 1]; ++q) {
-        if (keep[i][static_cast<std::size_t>(q)]) {
-          rowids.push_back(p.rowids()[q]);
-          vals.push_back(p.vals()[q]);
+    for (vidx_t c = c0; c < c1; ++c) {
+      cands.clear();
+      positions.clear();
+      for (std::size_t i = 0; i < pieces.size(); ++i) {
+        const CscD& p = *pieces[i];
+        const auto rows = p.col_rows(c);
+        const auto vals = p.col_vals(c);
+        for (std::size_t q = 0; q < rows.size(); ++q) {
+          cands.push_back({vals[q], static_cast<int>(i), rows[q]});
+          positions.push_back(static_cast<std::size_t>(p.colptr()[c]) + q);
         }
       }
-      colptr[static_cast<std::size_t>(c) + 1] =
-          static_cast<vidx_t>(rowids.size());
+      if (static_cast<int>(cands.size()) <= k) {
+        for (std::size_t q = 0; q < cands.size(); ++q) {
+          keep[static_cast<std::size_t>(cands[q].owner)][positions[q]] = 1;
+        }
+        continue;
+      }
+      // Partial selection: find the k best (deterministic tie-break).
+      order.resize(cands.size());
+      for (std::size_t q = 0; q < order.size(); ++q) order[q] = q;
+      std::nth_element(order.begin(), order.begin() + k, order.end(),
+                       [&](std::size_t x, std::size_t y) {
+                         return candidate_before(cands[x], cands[y]);
+                       });
+      for (int q = 0; q < k; ++q) {
+        const std::size_t idx = order[static_cast<std::size_t>(q)];
+        keep[static_cast<std::size_t>(cands[idx].owner)][positions[idx]] = 1;
+      }
     }
-    *pieces[i] = CscD(p.nrows(), p.ncols(), std::move(colptr),
+  });
+
+  // Rebuild each piece with only the kept entries: per-column counts ->
+  // prefix-sum offsets -> column-chunked scatter.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const CscD& p = *pieces[i];
+    const vidx_t pcols = p.ncols();
+    std::vector<vidx_t> colptr(static_cast<std::size_t>(pcols) + 1, 0);
+    par::parallel_chunks(vidx_t{0}, pcols, [&](vidx_t c0, vidx_t c1, int) {
+      for (vidx_t c = c0; c < c1; ++c) {
+        vidx_t kept = 0;
+        for (vidx_t q = p.colptr()[c]; q < p.colptr()[c + 1]; ++q) {
+          if (keep[i][static_cast<std::size_t>(q)]) ++kept;
+        }
+        colptr[static_cast<std::size_t>(c) + 1] = kept;
+      }
+    });
+    for (vidx_t c = 0; c < pcols; ++c) {
+      colptr[static_cast<std::size_t>(c) + 1] +=
+          colptr[static_cast<std::size_t>(c)];
+    }
+    std::vector<vidx_t> rowids(
+        static_cast<std::size_t>(colptr[static_cast<std::size_t>(pcols)]));
+    std::vector<val_t> vals(rowids.size());
+    par::parallel_chunks(vidx_t{0}, pcols, [&](vidx_t c0, vidx_t c1, int) {
+      for (vidx_t c = c0; c < c1; ++c) {
+        auto dst = static_cast<std::size_t>(colptr[static_cast<std::size_t>(c)]);
+        for (vidx_t q = p.colptr()[c]; q < p.colptr()[c + 1]; ++q) {
+          if (keep[i][static_cast<std::size_t>(q)]) {
+            rowids[dst] = p.rowids()[q];
+            vals[dst] = p.vals()[q];
+            ++dst;
+          }
+        }
+      }
+    });
+    *pieces[i] = CscD(p.nrows(), pcols, std::move(colptr),
                       std::move(rowids), std::move(vals));
   }
 }

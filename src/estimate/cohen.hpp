@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sparse/csc.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace mclx::estimate {
@@ -47,9 +48,13 @@ CohenEstimate cohen_nnz_estimate(const sparse::Csc<IT, VT>& a,
   for (auto& k : row_keys) k = rng.exponential(1.0);
 
   // Middle layer: per-slot min over the rows appearing in each A column.
+  // Each column k owns its r-slot slice of mid_keys, so the sweep runs
+  // column-parallel on the shared pool; the min over a column's rows is
+  // order-insensitive within the column anyway, and chunking never
+  // splits a column, so results match the sequential pass bitwise.
   const auto mid = static_cast<std::size_t>(a.ncols());
   std::vector<double> mid_keys(mid * r, kInf);
-  for (IT k = 0; k < a.ncols(); ++k) {
+  par::parallel_for(IT{0}, a.ncols(), [&](IT k) {
     auto* dst = &mid_keys[static_cast<std::size_t>(k) * r];
     for (const IT i : a.col_rows(k)) {
       const auto* src = &row_keys[static_cast<std::size_t>(i) * r];
@@ -57,35 +62,39 @@ CohenEstimate cohen_nnz_estimate(const sparse::Csc<IT, VT>& a,
         if (src[t] < dst[t]) dst[t] = src[t];
       }
     }
-  }
+  });
 
-  // Third layer + estimation.
+  // Third layer + estimation: per-output-column, with per-chunk key
+  // scratch. The total is folded sequentially from per_col afterwards so
+  // the FP summation order is independent of the thread count.
   CohenEstimate est;
   est.keys = keys;
   est.per_col.assign(static_cast<std::size_t>(b.ncols()), 0.0);
-  std::vector<double> out(r);
-  for (IT j = 0; j < b.ncols(); ++j) {
-    std::fill(out.begin(), out.end(), kInf);
-    for (const IT k : b.col_rows(j)) {
-      const auto* src = &mid_keys[static_cast<std::size_t>(k) * r];
+  par::parallel_chunks(IT{0}, b.ncols(), [&](IT j0, IT j1, int) {
+    std::vector<double> out(r);
+    for (IT j = j0; j < j1; ++j) {
+      std::fill(out.begin(), out.end(), kInf);
+      for (const IT k : b.col_rows(j)) {
+        const auto* src = &mid_keys[static_cast<std::size_t>(k) * r];
+        for (std::size_t t = 0; t < r; ++t) {
+          if (src[t] < out[t]) out[t] = src[t];
+        }
+      }
+      double sum = 0;
+      bool reachable = true;
       for (std::size_t t = 0; t < r; ++t) {
-        if (src[t] < out[t]) out[t] = src[t];
+        if (out[t] == kInf) {
+          reachable = false;
+          break;
+        }
+        sum += out[t];
       }
+      const double col_est =
+          reachable && sum > 0 ? static_cast<double>(keys - 1) / sum : 0.0;
+      est.per_col[static_cast<std::size_t>(j)] = col_est;
     }
-    double sum = 0;
-    bool reachable = true;
-    for (std::size_t t = 0; t < r; ++t) {
-      if (out[t] == kInf) {
-        reachable = false;
-        break;
-      }
-      sum += out[t];
-    }
-    const double col_est =
-        reachable && sum > 0 ? static_cast<double>(keys - 1) / sum : 0.0;
-    est.per_col[static_cast<std::size_t>(j)] = col_est;
-    est.total += col_est;
-  }
+  });
+  for (const double c : est.per_col) est.total += c;
   return est;
 }
 

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace mclx::io {
 
@@ -51,19 +54,60 @@ MmTriples read_matrix_market(std::istream& in) {
   if (!(size_line >> nrows >> ncols >> entries)) fail("bad size line");
   if (nrows < 0 || ncols < 0) fail("negative dimensions");
 
+  // Entry lines are independent, so parsing chunks over them on the
+  // shared pool: the stream is drained sequentially (I/O stays ordered),
+  // each chunk parses into a local triple buffer, and buffers concatenate
+  // in chunk order — the exact push sequence of the sequential loop,
+  // symmetric mirrors included, so sort_and_combine sees identical input
+  // at any thread count. Lanes must not throw (they cross the pool
+  // boundary), so parse errors are collected per chunk and the earliest
+  // one is rethrown afterwards.
+  std::vector<std::string> entry_lines(entries);
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    if (!std::getline(in, entry_lines[e])) fail("unexpected end of entries");
+  }
+
+  using TripleT = MmTriples::triple_type;
+  const int chunks = par::plan_chunks(std::uint64_t{0}, entries);
+  std::vector<std::vector<TripleT>> parsed(
+      static_cast<std::size_t>(std::max(chunks, 0)));
+  std::vector<std::string> errors(parsed.size());
+  par::parallel_chunks(
+      std::uint64_t{0}, entries,
+      [&](std::uint64_t e0, std::uint64_t e1, int c_idx) {
+        auto& out = parsed[static_cast<std::size_t>(c_idx)];
+        out.reserve(static_cast<std::size_t>(symmetric ? 2 * (e1 - e0)
+                                                       : (e1 - e0)));
+        for (std::uint64_t e = e0; e < e1; ++e) {
+          const std::string& text = entry_lines[e];
+          std::istringstream entry(text);
+          vidx_t r = 0, c = 0;
+          val_t v = 1.0;
+          if (!(entry >> r >> c)) {
+            errors[static_cast<std::size_t>(c_idx)] = "bad entry line: " + text;
+            return;
+          }
+          if (!pattern && !(entry >> v)) {
+            errors[static_cast<std::size_t>(c_idx)] = "missing value: " + text;
+            return;
+          }
+          if (r < 1 || r > nrows || c < 1 || c > ncols) {
+            errors[static_cast<std::size_t>(c_idx)] =
+                "entry out of bounds: " + text;
+            return;
+          }
+          out.push_back({r - 1, c - 1, v});
+          if (symmetric && r != c) out.push_back({c - 1, r - 1, v});
+        }
+      });
+  for (const auto& err : errors) {
+    if (!err.empty()) fail(err);
+  }
+
   MmTriples m(nrows, ncols);
   m.reserve(symmetric ? 2 * entries : entries);
-  for (std::uint64_t e = 0; e < entries; ++e) {
-    if (!std::getline(in, line)) fail("unexpected end of entries");
-    std::istringstream entry(line);
-    vidx_t r = 0, c = 0;
-    val_t v = 1.0;
-    if (!(entry >> r >> c)) fail("bad entry line: " + line);
-    if (!pattern && !(entry >> v)) fail("missing value: " + line);
-    if (r < 1 || r > nrows || c < 1 || c > ncols)
-      fail("entry out of bounds: " + line);
-    m.push_unchecked(r - 1, c - 1, v);
-    if (symmetric && r != c) m.push_unchecked(c - 1, r - 1, v);
+  for (auto& chunk : parsed) {
+    m.data().insert(m.data().end(), chunk.begin(), chunk.end());
   }
   m.sort_and_combine();
   return m;

@@ -65,4 +65,5 @@
 #include "spgemm/semiring.hpp"
 #include "spgemm/spa.hpp"
 #include "spgemm/symbolic.hpp"
+#include "util/parallel.hpp"
 #include "util/types.hpp"

@@ -2,6 +2,11 @@
 // Sparse SUMMA (Cij = Σ_k Aik·Bkj) expressed as a merge of the k partial
 // products. Column-by-column: a min-heap over the k lists' current row
 // ids pops the smallest, folding equal (col,row) coordinates by addition.
+//
+// Columns merge independently, so the heap pass chunks over columns on
+// the shared pool with per-chunk output buffers stitched back in chunk
+// order. Per-column fold order is the heap's deterministic pop order
+// either way, so the result is bit-identical to the sequential merge.
 #pragma once
 
 #include <algorithm>
@@ -10,6 +15,7 @@
 #include <vector>
 
 #include "sparse/csc.hpp"
+#include "util/parallel.hpp"
 
 namespace mclx::merge {
 
@@ -40,53 +46,83 @@ sparse::Csc<IT, VT> kway_merge(
   for (const auto* b : blocks) total += b->nnz();
 
   std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
-  std::vector<IT> rowids;
-  std::vector<VT> vals;
-  rowids.reserve(total);
-  vals.reserve(total);
-  std::vector<Entry> heap;
+
+  const int chunks = par::plan_chunks(IT{0}, ncols);
+  std::vector<std::vector<IT>> chunk_rows(
+      static_cast<std::size_t>(std::max(chunks, 0)));
+  std::vector<std::vector<VT>> chunk_vals(chunk_rows.size());
+
+  auto merge_columns = [&](IT j0, IT j1, std::vector<IT>& out_rows,
+                           std::vector<VT>& out_vals) {
+    std::vector<Entry> heap;
+    for (IT j = j0; j < j1; ++j) {
+      heap.clear();
+      for (std::size_t w = 0; w < blocks.size(); ++w) {
+        const auto* b = blocks[w];
+        if (b->col_nnz(j) > 0) {
+          heap.push_back({b->col_rows(j)[0], b->colptr()[j], w});
+        }
+      }
+      std::make_heap(heap.begin(), heap.end(), entry_greater);
+
+      const auto col_start = out_rows.size();
+      IT current_row = IT{-1};
+      VT current_val{};
+      bool has_current = false;
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), entry_greater);
+        Entry top = heap.back();
+        heap.pop_back();
+        const auto* b = blocks[top.which];
+        const VT v = b->vals()[top.pos];
+        if (has_current && top.row == current_row) {
+          current_val += v;
+        } else {
+          if (has_current) {
+            out_rows.push_back(current_row);
+            out_vals.push_back(current_val);
+          }
+          current_row = top.row;
+          current_val = v;
+          has_current = true;
+        }
+        const IT next = top.pos + 1;
+        if (next < b->colptr()[j + 1]) {
+          heap.push_back({b->rowids()[next], next, top.which});
+          std::push_heap(heap.begin(), heap.end(), entry_greater);
+        }
+      }
+      if (has_current) {
+        out_rows.push_back(current_row);
+        out_vals.push_back(current_val);
+      }
+      colptr[static_cast<std::size_t>(j) + 1] =
+          static_cast<IT>(out_rows.size() - col_start);
+    }
+  };
+
+  par::parallel_chunks(IT{0}, ncols, [&](IT j0, IT j1, int c) {
+    auto& rows = chunk_rows[static_cast<std::size_t>(c)];
+    auto& vals = chunk_vals[static_cast<std::size_t>(c)];
+    rows.reserve(total / static_cast<std::size_t>(std::max(chunks, 1)));
+    vals.reserve(total / static_cast<std::size_t>(std::max(chunks, 1)));
+    merge_columns(j0, j1, rows, vals);
+  });
 
   for (IT j = 0; j < ncols; ++j) {
-    heap.clear();
-    for (std::size_t w = 0; w < blocks.size(); ++w) {
-      const auto* b = blocks[w];
-      if (b->col_nnz(j) > 0) {
-        heap.push_back({b->col_rows(j)[0], b->colptr()[j], w});
-      }
-    }
-    std::make_heap(heap.begin(), heap.end(), entry_greater);
-
-    IT current_row = IT{-1};
-    VT current_val{};
-    bool has_current = false;
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), entry_greater);
-      Entry top = heap.back();
-      heap.pop_back();
-      const auto* b = blocks[top.which];
-      const VT v = b->vals()[top.pos];
-      if (has_current && top.row == current_row) {
-        current_val += v;
-      } else {
-        if (has_current) {
-          rowids.push_back(current_row);
-          vals.push_back(current_val);
-        }
-        current_row = top.row;
-        current_val = v;
-        has_current = true;
-      }
-      const IT next = top.pos + 1;
-      if (next < b->colptr()[j + 1]) {
-        heap.push_back({b->rowids()[next], next, top.which});
-        std::push_heap(heap.begin(), heap.end(), entry_greater);
-      }
-    }
-    if (has_current) {
-      rowids.push_back(current_row);
-      vals.push_back(current_val);
-    }
-    colptr[static_cast<std::size_t>(j) + 1] = static_cast<IT>(rowids.size());
+    colptr[static_cast<std::size_t>(j) + 1] +=
+        colptr[static_cast<std::size_t>(j)];
+  }
+  std::vector<IT> rowids(
+      static_cast<std::size_t>(colptr[static_cast<std::size_t>(ncols)]));
+  std::vector<VT> vals(rowids.size());
+  std::size_t dst = 0;
+  for (std::size_t c = 0; c < chunk_rows.size(); ++c) {
+    std::copy(chunk_rows[c].begin(), chunk_rows[c].end(),
+              rowids.begin() + static_cast<std::ptrdiff_t>(dst));
+    std::copy(chunk_vals[c].begin(), chunk_vals[c].end(),
+              vals.begin() + static_cast<std::ptrdiff_t>(dst));
+    dst += chunk_rows[c].size();
   }
   return sparse::Csc<IT, VT>(nrows, ncols, std::move(colptr),
                              std::move(rowids), std::move(vals));

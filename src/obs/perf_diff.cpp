@@ -232,7 +232,12 @@ Direction direction_of(std::string_view path) {
 }
 
 bool is_ignored(std::string_view path, const DiffOptions& opt) {
-  if (opt.ignore_real_wall && path == "real_wall_s") return true;
+  // "real." covers the measured-multicore block (schema v3): wall-clock
+  // numbers vary by machine exactly like real_wall_s.
+  if (opt.ignore_real_wall &&
+      (path == "real_wall_s" || path.rfind("real.", 0) == 0)) {
+    return true;
+  }
   for (const std::string& prefix : opt.ignored_prefixes) {
     if (path.rfind(prefix, 0) == 0) return true;
   }

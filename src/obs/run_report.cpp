@@ -252,6 +252,7 @@ const std::vector<FieldSpec>& run_meta_schema() {
       {"nranks", FieldType::kUInt},
       {"vertices", FieldType::kUInt},
       {"edges", FieldType::kUInt},
+      {"threads", FieldType::kUInt},
   };
   return schema;
 }
@@ -427,6 +428,7 @@ RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
   meta.add("nranks", info.nranks);
   meta.add("vertices", info.vertices);
   meta.add("edges", info.edges);
+  meta.add("threads", info.threads);
   report.add(std::move(meta));
 
   for (const auto& it : result.iters) {
@@ -499,6 +501,7 @@ RunReport make_metrics_report(const MetricsRegistry& metrics) {
   meta.add("nranks", std::uint64_t{0});
   meta.add("vertices", std::uint64_t{0});
   meta.add("edges", std::uint64_t{0});
+  meta.add("threads", std::uint64_t{1});
   report.add(std::move(meta));
   append_metrics(report, metrics);
   return report;

@@ -33,7 +33,7 @@ namespace mclx::obs {
 
 /// Version 2: observation records gained `stddev`, the `histogram`
 /// record type was added (both PR 3); version 1 was the initial layout.
-inline constexpr std::uint64_t kReportSchemaVersion = 2;
+inline constexpr std::uint64_t kReportSchemaVersion = 3;
 
 /// Stage index -> report field name for the six Fig 1 stages
 /// ("t_local_spgemm_s" … "t_other_s"); the single source of truth shared
@@ -118,6 +118,7 @@ struct RunInfo {
   std::uint64_t nranks = 0;
   std::uint64_t vertices = 0;
   std::uint64_t edges = 0;
+  std::uint64_t threads = 1;  ///< per-rank pool width (par::threads())
 };
 
 /// Build the full report for a finished run: run_meta, one iteration

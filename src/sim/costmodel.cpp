@@ -49,6 +49,9 @@ vtime_t CostModel::local_spgemm(spgemm::KernelKind kind, std::uint64_t flops,
   const auto f = static_cast<double>(flops);
   switch (kind) {
     case spgemm::KernelKind::kCpuHash:
+    // The pooled kernel runs the same per-column hash work; its thread
+    // scaling is already the cpu_threads() factor in the denominator.
+    case spgemm::KernelKind::kCpuHashParallel:
       return f / (m_.cpu_core_rate_flops / m_.work_scale * cpu_threads());
     case spgemm::KernelKind::kCpuSpa:
       // SPA pays O(nrows) column resets; model as hash with a 15% haircut.

@@ -6,27 +6,33 @@
 // thread writes into a precomputed slice of the output arrays (offsets
 // from an upfront symbolic pass), so the numeric phase is barrier-free.
 //
-// On the simulated machine the *virtual* speedup comes from the cost
-// model; this kernel provides the real concurrent implementation —
-// correct under any thread count, bit-identical to the sequential hash
-// kernel (per-column work and the final sort are deterministic).
+// Execution rides the shared persistent pool (util/parallel.hpp) — no
+// per-call thread spawns. `nthreads` fixes the *partition* (and with it
+// the exact per-lane work); the pool supplies however many real threads
+// it has and lanes queue on its counter, so any partition runs correctly
+// at any pool size. Bit-identical to the sequential hash kernel (per-
+// column work and the final sort are deterministic).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "spgemm/hash.hpp"
 #include "spgemm/symbolic.hpp"
+#include "util/parallel.hpp"
 
 namespace mclx::spgemm {
 
 namespace detail {
 
 /// Greedy contiguous partition of columns into `parts` ranges with
-/// roughly equal flops. Returns parts+1 boundaries.
+/// roughly equal flops. Returns parts+1 boundaries. Boundary i is placed
+/// at the first prefix reaching target_i = total*i/parts — computed per
+/// boundary without the truncation drift of (total/parts)*i, which loses
+/// up to parts-1 flops per boundary and systematically overloads the
+/// last thread on skewed MCL columns.
 template <typename IT, typename VT>
 std::vector<IT> partition_columns_by_flops(const sparse::Csc<IT, VT>& a,
                                            const sparse::Csc<IT, VT>& b,
@@ -45,9 +51,10 @@ std::vector<IT> partition_columns_by_flops(const sparse::Csc<IT, VT>& a,
   std::uint64_t running = 0;
   for (IT j = 0; j < ncols && static_cast<int>(bounds.size()) < parts; ++j) {
     running += col_flops[static_cast<std::size_t>(j)];
-    const std::uint64_t target =
-        total / static_cast<std::uint64_t>(parts) *
-        static_cast<std::uint64_t>(bounds.size());
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(total) *
+        static_cast<std::uint64_t>(bounds.size()) /
+        static_cast<std::uint64_t>(parts));
     if (running >= target && j + 1 < ncols) bounds.push_back(j + 1);
   }
   while (static_cast<int>(bounds.size()) < parts) bounds.push_back(ncols);
@@ -57,24 +64,22 @@ std::vector<IT> partition_columns_by_flops(const sparse::Csc<IT, VT>& a,
 
 }  // namespace detail
 
-/// C = A * B with `nthreads` workers. nthreads <= 0 picks
-/// hardware_concurrency (at least 1).
+/// C = A * B partitioned into `nthreads` flops-balanced lanes on the
+/// shared pool. nthreads <= 0 picks the configured pool width
+/// (par::threads()).
 template <typename IT, typename VT>
 sparse::Csc<IT, VT> parallel_hash_spgemm(const sparse::Csc<IT, VT>& a,
                                          const sparse::Csc<IT, VT>& b,
                                          int nthreads = 0) {
   if (a.ncols() != b.nrows())
     throw std::invalid_argument("parallel_hash_spgemm: dimension mismatch");
-  if (nthreads <= 0) {
-    nthreads = static_cast<int>(std::thread::hardware_concurrency());
-    if (nthreads <= 0) nthreads = 1;
-  }
+  if (nthreads <= 0) nthreads = par::threads();
   const IT ncols = b.ncols();
   nthreads = std::max(1, std::min<int>(nthreads, static_cast<int>(ncols)));
   if (nthreads == 1 || ncols == 0) return hash_spgemm(a, b);
 
   // Symbolic pass gives exact per-column output sizes -> exclusive output
-  // offsets, so threads write disjoint slices with no synchronization.
+  // offsets, so lanes write disjoint slices with no synchronization.
   const auto per_col = symbolic_nnz_per_col(a, b);
   std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
   for (IT j = 0; j < ncols; ++j) {
@@ -89,7 +94,7 @@ sparse::Csc<IT, VT> parallel_hash_spgemm(const sparse::Csc<IT, VT>& a,
   const auto bounds = detail::partition_columns_by_flops(a, b, nthreads);
 
   auto worker = [&](IT j0, IT j1) {
-    // Per-thread table sized once for this share's worst column (§VI).
+    // Per-lane table sized once for this share's worst column (§VI).
     std::uint64_t max_col_flops = 0;
     for (IT j = j0; j < j1; ++j) {
       std::uint64_t f = 0;
@@ -126,13 +131,10 @@ sparse::Csc<IT, VT> parallel_hash_spgemm(const sparse::Csc<IT, VT>& a,
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nthreads));
-  for (int t = 0; t < nthreads; ++t) {
-    threads.emplace_back(worker, bounds[static_cast<std::size_t>(t)],
-                         bounds[static_cast<std::size_t>(t) + 1]);
-  }
-  for (auto& th : threads) th.join();
+  par::pool().run(nthreads, [&](int t) {
+    worker(bounds[static_cast<std::size_t>(t)],
+           bounds[static_cast<std::size_t>(t) + 1]);
+  });
 
   return sparse::Csc<IT, VT>(a.nrows(), ncols, std::move(colptr),
                              std::move(rowids), std::move(vals));

@@ -7,18 +7,20 @@
 namespace mclx::spgemm {
 
 enum class KernelKind {
-  kCpuHeap,     ///< heap column merge — original HipMCL kernel
-  kCpuHash,     ///< hash accumulation — §VI's CPU kernel (cpu-hash)
-  kCpuSpa,      ///< dense-accumulator reference (testing only)
-  kGpuBhsparse, ///< ESC (expand-sort-compress) on the device
-  kGpuNsparse,  ///< device hash tables — wins at large cf
-  kGpuRmerge2,  ///< iterative row merging — wins at small cf
+  kCpuHeap,         ///< heap column merge — original HipMCL kernel
+  kCpuHash,         ///< hash accumulation — §VI's CPU kernel (cpu-hash)
+  kCpuHashParallel, ///< hash accumulation on the shared thread pool
+  kCpuSpa,          ///< dense-accumulator reference (testing only)
+  kGpuBhsparse,     ///< ESC (expand-sort-compress) on the device
+  kGpuNsparse,      ///< device hash tables — wins at large cf
+  kGpuRmerge2,      ///< iterative row merging — wins at small cf
 };
 
 inline constexpr std::string_view kernel_name(KernelKind k) {
   switch (k) {
     case KernelKind::kCpuHeap: return "cpu-heap";
     case KernelKind::kCpuHash: return "cpu-hash";
+    case KernelKind::kCpuHashParallel: return "cpu-hash-par";
     case KernelKind::kCpuSpa: return "cpu-spa";
     case KernelKind::kGpuBhsparse: return "bhsparse";
     case KernelKind::kGpuNsparse: return "nsparse";

@@ -5,9 +5,11 @@
 #include "obs/metrics.hpp"
 #include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
+#include "spgemm/hash_parallel.hpp"
 #include "spgemm/heap.hpp"
 #include "spgemm/spa.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace mclx::spgemm {
 
@@ -28,9 +30,11 @@ void report_selection(KernelKind kind, std::uint64_t flops,
 }  // namespace
 
 KernelKind HybridPolicy::select(std::uint64_t flops, double cf_estimate,
-                                bool gpu_available) const {
+                                bool gpu_available, int pool_threads) const {
   const double cf = cf_estimate > 0 ? cf_estimate : 8.0;  // neutral default
   if (!gpu_available || flops < min_gpu_flops) {
+    if (pool_threads > 1 && flops >= min_parallel_flops)
+      return KernelKind::kCpuHashParallel;
     return cf < cpu_cf_threshold ? KernelKind::kCpuHeap
                                  : KernelKind::kCpuHash;
   }
@@ -59,6 +63,9 @@ LocalSpgemmResult LocalMultiplier::run_cpu(KernelKind kind, const CscD& a,
     case KernelKind::kCpuHash:
       r.c = hash_spgemm(a, b);
       break;
+    case KernelKind::kCpuHashParallel:
+      r.c = parallel_hash_spgemm(a, b);
+      break;
     case KernelKind::kCpuSpa:
       r.c = spa_spgemm(a, b);
       break;
@@ -80,7 +87,7 @@ LocalSpgemmResult LocalMultiplier::multiply(const CscD& a, const CscD& b,
   const KernelKind kind =
       policy_.fixed ? *policy_.fixed
                     : policy_.hybrid.select(flops, cf_estimate,
-                                            !devices_.empty());
+                                            !devices_.empty(), par::threads());
   report_selection(kind, flops, cf_estimate);
 
   if (!is_gpu_kernel(kind)) return run_cpu(kind, a, b, flops);

@@ -36,9 +36,16 @@ struct HybridPolicy {
   /// CPU kernel split: cf < threshold -> heap, else hash (§VI: heaps
   /// slightly ahead only at small cf).
   double cpu_cf_threshold = 1.5;
+  /// On the CPU path, multiplies at or above this many flops go to the
+  /// pooled cpu-hash-par kernel when the rank has more than one thread;
+  /// below it the fork/join overhead outweighs the parallelism.
+  std::uint64_t min_parallel_flops = 1'000'000;
 
+  /// `pool_threads` is the rank's thread-pool width (par::threads());
+  /// the default of 1 keeps single-threaded callers on the sequential
+  /// kernels.
   KernelKind select(std::uint64_t flops, double cf_estimate,
-                    bool gpu_available) const;
+                    bool gpu_available, int pool_threads = 1) const;
 };
 
 /// Kernel request: a fixed kernel, or hybrid selection.

@@ -4,6 +4,12 @@
 // before every MCL iteration (a full extra pass, O(flops)), the cost the
 // probabilistic estimator of §V removes. Hash-based, matching the exact
 // scheme evaluated in Fig 6.
+//
+// Columns are independent, so the pass runs on the shared thread pool
+// (util/parallel.hpp): each chunk of output columns gets its own probe
+// table sized to that chunk's worst column. Per-column counts do not
+// depend on the chunking, so results are bit-identical at any thread
+// count.
 #pragma once
 
 #include <algorithm>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "sparse/csc.hpp"
+#include "util/parallel.hpp"
 
 namespace mclx::spgemm {
 
@@ -24,48 +31,50 @@ std::vector<std::uint64_t> symbolic_nnz_per_col(const sparse::Csc<IT, VT>& a,
     throw std::invalid_argument("symbolic: inner dimension mismatch");
   const IT ncols = b.ncols();
 
-  std::uint64_t max_col_flops = 0;
-  for (IT j = 0; j < ncols; ++j) {
-    std::uint64_t f = 0;
-    for (IT k : b.col_rows(j)) f += static_cast<std::uint64_t>(a.col_nnz(k));
-    max_col_flops = std::max(max_col_flops, f);
-  }
-  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(
-      2 * static_cast<std::size_t>(std::min<std::uint64_t>(
-              max_col_flops, static_cast<std::uint64_t>(a.nrows()))),
-      16));
-  std::vector<IT> slots(cap, IT{-1});
-  std::vector<std::size_t> touched;
-  const std::size_t mask = cap - 1;
-
-  auto hash = [](IT row) {
-    auto x = static_cast<std::uint64_t>(row);
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    return static_cast<std::size_t>(x);
-  };
-
   std::vector<std::uint64_t> out(static_cast<std::size_t>(ncols), 0);
-  for (IT j = 0; j < ncols; ++j) {
-    touched.clear();
-    for (IT k : b.col_rows(j)) {
-      for (IT r : a.col_rows(k)) {
-        std::size_t h = hash(r) & mask;
-        for (;;) {
-          if (slots[h] == r) break;
-          if (slots[h] == IT{-1}) {
-            slots[h] = r;
-            touched.push_back(h);
-            break;
+  par::parallel_chunks(IT{0}, ncols, [&](IT j0, IT j1, int) {
+    std::uint64_t max_col_flops = 0;
+    for (IT j = j0; j < j1; ++j) {
+      std::uint64_t f = 0;
+      for (IT k : b.col_rows(j)) f += static_cast<std::uint64_t>(a.col_nnz(k));
+      max_col_flops = std::max(max_col_flops, f);
+    }
+    const std::size_t cap = std::bit_ceil(std::max<std::size_t>(
+        2 * static_cast<std::size_t>(std::min<std::uint64_t>(
+                max_col_flops, static_cast<std::uint64_t>(a.nrows()))),
+        16));
+    std::vector<IT> slots(cap, IT{-1});
+    std::vector<std::size_t> touched;
+    const std::size_t mask = cap - 1;
+
+    auto hash = [](IT row) {
+      auto x = static_cast<std::uint64_t>(row);
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    };
+
+    for (IT j = j0; j < j1; ++j) {
+      touched.clear();
+      for (IT k : b.col_rows(j)) {
+        for (IT r : a.col_rows(k)) {
+          std::size_t h = hash(r) & mask;
+          for (;;) {
+            if (slots[h] == r) break;
+            if (slots[h] == IT{-1}) {
+              slots[h] = r;
+              touched.push_back(h);
+              break;
+            }
+            h = (h + 1) & mask;
           }
-          h = (h + 1) & mask;
         }
       }
+      out[static_cast<std::size_t>(j)] = touched.size();
+      for (const std::size_t s : touched) slots[s] = IT{-1};
     }
-    out[static_cast<std::size_t>(j)] = touched.size();
-    for (const std::size_t s : touched) slots[s] = IT{-1};
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,199 @@
+#include "util/parallel.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/cli.hpp"
+
+namespace mclx::par {
+
+namespace {
+
+thread_local bool t_in_region = false;
+
+int hardware_threads() {
+  const int n = static_cast<int>(std::thread::hardware_concurrency());
+  return n > 0 ? n : 1;
+}
+
+/// Default resolution: MCLX_THREADS (when set and positive), else the
+/// hardware concurrency.
+int default_threads() {
+  if (const char* env = std::getenv("MCLX_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return hardware_threads();
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool in_parallel_region() { return t_in_region; }
+
+ThreadPool::ThreadPool(int nthreads) {
+  size_ = nthreads > 0 ? nthreads : hardware_threads();
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int t = 0; t < size_ - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::work(Job& job) {
+  for (;;) {
+    const int lane = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (lane >= job.lanes) return;
+    const std::uint64_t t0 = now_ns();
+    (*job.fn)(lane);
+    job.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    job.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    wake_.wait(lk, [&] { return stop_ || (job_ && generation_ != seen); });
+    if (stop_) return;
+    seen = generation_;
+    const std::shared_ptr<Job> job = job_;
+    lk.unlock();
+    t_in_region = true;
+    work(*job);
+    t_in_region = false;
+    // Waking the caller must happen after holding the mutex, so its
+    // predicate check cannot slip between our done-increment and notify.
+    if (job->done.load(std::memory_order_acquire) == job->lanes) {
+      std::lock_guard<std::mutex> done_lk(mu_);
+      finished_.notify_all();
+    }
+    lk.lock();
+  }
+}
+
+void ThreadPool::run(int lanes, const std::function<void(int)>& fn) {
+  if (lanes <= 0) return;
+  runs_.fetch_add(1, std::memory_order_relaxed);
+  tasks_.fetch_add(static_cast<std::uint64_t>(lanes),
+                   std::memory_order_relaxed);
+  obs::count("pool.runs");
+  obs::count("pool.tasks", static_cast<std::uint64_t>(lanes));
+
+  // Inline paths: a 1-lane job, a 1-thread pool, or a nested call from a
+  // worker lane. Same lane order as the concurrent path, so identical
+  // results — the pool is an execution detail, never a semantic one.
+  if (lanes == 1 || size_ == 1 || t_in_region) {
+    obs::count("pool.inline_runs");
+    for (int lane = 0; lane < lanes; ++lane) fn(lane);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->lanes = lanes;
+  const std::uint64_t t0 = now_ns();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  // The caller is a lane-execution thread too.
+  t_in_region = true;
+  work(*job);
+  t_in_region = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    finished_.wait(lk, [&] {
+      return job->done.load(std::memory_order_acquire) == job->lanes;
+    });
+    job_.reset();
+  }
+
+  // Utilization from the caller only — the obs registry is not
+  // thread-safe and must never be touched from a worker lane.
+  const double span_s = static_cast<double>(now_ns() - t0) * 1e-9;
+  const double busy_s =
+      static_cast<double>(job->busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+  const double idle_s =
+      std::max(0.0, span_s * static_cast<double>(size_) - busy_s);
+  obs::observe("pool.busy_s", busy_s);
+  obs::record("pool.busy_s", busy_s);
+  obs::observe("pool.idle_s", idle_s);
+  obs::record("pool.idle_s", idle_s);
+}
+
+namespace {
+
+std::mutex g_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_configured = -1;  // -1: not resolved yet
+
+}  // namespace
+
+int threads() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (g_configured < 0) g_configured = default_threads();
+  return g_configured;
+}
+
+void set_threads(int n) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  const int resolved = n > 0 ? n : default_threads();
+  if (g_pool && g_pool->size() != resolved) g_pool.reset();
+  g_configured = resolved;
+}
+
+ThreadPool& pool() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (!g_pool) {
+    if (g_configured < 0) g_configured = default_threads();
+    g_pool = std::make_unique<ThreadPool>(g_configured);
+  }
+  return *g_pool;
+}
+
+void shutdown() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_pool.reset();
+}
+
+int register_threads_flag(util::Cli& cli) {
+  const int n = static_cast<int>(cli.get_int(
+      "threads", 0,
+      "worker threads for the per-rank pipeline (0 = hardware, or "
+      "MCLX_THREADS)"));
+  if (n > 0) set_threads(n);
+  return threads();
+}
+
+namespace detail {
+
+void run_chunks(int chunks, const std::function<void(int)>& fn) {
+  pool().run(chunks, fn);
+}
+
+}  // namespace detail
+
+}  // namespace mclx::par

@@ -1,0 +1,190 @@
+// Shared thread-pool backbone for every per-rank hot path.
+//
+// The paper's per-node speedups come from multithreaded local kernels
+// (§VI follows Nagasaka et al.'s multicore hash SpGEMM); this module is
+// the process-wide substrate those kernels run on: one persistent pool
+// (no per-call thread spawns), sized once from --threads / MCLX_THREADS,
+// with parallel_for / parallel_chunks / parallel_reduce helpers.
+//
+// Determinism contract (see docs/PERFORMANCE.md): work is split into
+// contiguous chunks with boundaries at begin + (n*i)/chunks — a pure
+// function of the range, never of scheduling — and every parallelized
+// pipeline stage only writes lane-disjoint state (whole columns, disjoint
+// output slices). Results are therefore bit-identical at any thread
+// count, which is what lets ctest run under MCLX_THREADS=1 and =4 and
+// lets the perf gate keep comparing virtual trajectories across machines.
+//
+// parallel_reduce combines partials in chunk-index order; the chunk count
+// depends on the pool size, so it is reserved for ops that are exact
+// under any grouping (integer sums, min/max). Floating-point sums that
+// must stay bit-identical are stored per-element and folded sequentially.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mclx::util {
+class Cli;
+}
+
+namespace mclx::par {
+
+/// Chunk c of [begin, end) split into `chunks` contiguous pieces:
+/// [begin + n*c/chunks, begin + n*(c+1)/chunks). Pure function of the
+/// range — the determinism contract's single source of truth.
+template <typename IT>
+inline std::pair<IT, IT> chunk_range(IT begin, IT end, int chunks, int c) {
+  const auto n = static_cast<std::uint64_t>(end - begin);
+  const auto k = static_cast<std::uint64_t>(chunks);
+  const auto lo = begin + static_cast<IT>(n * static_cast<std::uint64_t>(c) / k);
+  const auto hi =
+      begin + static_cast<IT>(n * (static_cast<std::uint64_t>(c) + 1) / k);
+  return {lo, hi};
+}
+
+/// Persistent worker pool. `size()` counts execution lanes including the
+/// calling thread: a pool of size N spawns N-1 workers, and run()'s
+/// caller executes lanes alongside them (so size 1 means fully inline).
+class ThreadPool {
+ public:
+  /// nthreads <= 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(int nthreads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int size() const { return size_; }
+
+  /// Execute fn(lane) for lane in [0, lanes). Lanes are claimed from an
+  /// atomic counter by the workers and the calling thread; which thread
+  /// runs which lane is unspecified, so fn's work per lane must be a pure
+  /// function of the lane index. Blocks until every lane finished.
+  /// Nested calls from inside a worker run all lanes inline on that
+  /// worker (no deadlock, same results).
+  void run(int lanes, const std::function<void(int)>& fn);
+
+  /// Lifetime totals, for tests and the obs counters.
+  std::uint64_t runs() const { return runs_.load(std::memory_order_relaxed); }
+  std::uint64_t tasks() const { return tasks_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int lanes = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  void worker_loop();
+  static void work(Job& job);
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable finished_;
+  std::shared_ptr<Job> job_;        // current job, null when idle
+  std::uint64_t generation_ = 0;    // bumped per run() so workers re-check
+  bool stop_ = false;
+  std::atomic<std::uint64_t> runs_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+};
+
+/// Resolved global thread count: the last set_threads() value, else
+/// MCLX_THREADS, else hardware_concurrency. Always >= 1.
+int threads();
+
+/// Configure the global pool size (0 = hardware_concurrency). Takes
+/// effect immediately: an existing pool of a different size is shut down
+/// and the next pool() call rebuilds it. Not safe to call from inside a
+/// parallel region.
+void set_threads(int n);
+
+/// The lazy global pool (created on first use at the configured size).
+ThreadPool& pool();
+
+/// Explicit shutdown (joins the workers). The next pool() use revives it;
+/// call at process exit or between test fixtures that resize.
+void shutdown();
+
+/// True while the calling thread is a pool worker executing a lane —
+/// nested parallel constructs run inline in that case.
+bool in_parallel_region();
+
+/// Registers --threads on `cli` (default 0 = hardware_concurrency),
+/// applies it via set_threads(), and returns the resolved count. The
+/// one-liner every CLI/bench front end uses so the flag, the env var and
+/// the run_meta record stay consistent.
+int register_threads_flag(util::Cli& cli);
+
+namespace detail {
+/// Dispatch `chunks` lanes over the global pool and record the obs pool
+/// counters (tasks, busy/idle time) from the calling thread. `chunks`
+/// may exceed the pool size; excess lanes queue on the atomic counter.
+void run_chunks(int chunks, const std::function<void(int)>& fn);
+}  // namespace detail
+
+/// How many chunks a range of size n is split into: min(pool size, n),
+/// at least 1. Shared by every helper below so call sites can reproduce
+/// the split (e.g. to allocate per-chunk scratch).
+template <typename IT>
+inline int plan_chunks(IT begin, IT end) {
+  const auto n = end > begin ? static_cast<std::uint64_t>(end - begin) : 0;
+  if (n == 0) return 0;
+  const auto p = static_cast<std::uint64_t>(pool().size());
+  return static_cast<int>(p < n ? p : n);
+}
+
+/// body(lo, hi, chunk_index) over the deterministic chunk split of
+/// [begin, end). Empty range → no calls.
+template <typename IT, typename Body>
+inline void parallel_chunks(IT begin, IT end, Body&& body) {
+  const int chunks = plan_chunks(begin, end);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    body(begin, end, 0);
+    return;
+  }
+  const std::function<void(int)> fn = [&](int c) {
+    const auto [lo, hi] = chunk_range(begin, end, chunks, c);
+    body(lo, hi, c);
+  };
+  detail::run_chunks(chunks, fn);
+}
+
+/// fn(i) for every i in [begin, end), chunked contiguously. fn must only
+/// touch per-i (or per-chunk-disjoint) state.
+template <typename IT, typename Fn>
+inline void parallel_for(IT begin, IT end, Fn&& fn) {
+  parallel_chunks(begin, end, [&](IT lo, IT hi, int) {
+    for (IT i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// chunk_fn(lo, hi) -> T partial, folded left-to-right in chunk order:
+/// init ⊕ partial_0 ⊕ partial_1 ⊕ … The chunk count tracks the pool
+/// size, so use only with grouping-exact ⊕ (integer sums, min/max) when
+/// bit-identity across thread counts is required.
+template <typename T, typename IT, typename ChunkFn, typename Combine>
+inline T parallel_reduce(IT begin, IT end, T init, ChunkFn&& chunk_fn,
+                         Combine&& combine) {
+  const int chunks = plan_chunks(begin, end);
+  if (chunks == 0) return init;
+  if (chunks == 1) return combine(std::move(init), chunk_fn(begin, end));
+  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  parallel_chunks(begin, end, [&](IT lo, IT hi, int c) {
+    partials[static_cast<std::size_t>(c)] = chunk_fn(lo, hi);
+  });
+  T acc = std::move(init);
+  for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace mclx::par

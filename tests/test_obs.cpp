@@ -313,10 +313,11 @@ TEST(RunReportSchema, OneSchemaValidRecordPerIteration) {
   EXPECT_FALSE(report.records_of("observation").empty());
 }
 
-TEST(RunReportSchema, VersionTwoMetricRecordSchemas) {
+TEST(RunReportSchema, VersionThreeMetricRecordSchemas) {
   // Schema v2: observations grew a stddev field and histogram records
-  // joined. Pin the version so a future bump is a conscious act.
-  EXPECT_EQ(obs::kReportSchemaVersion, 2u);
+  // joined. v3: run_meta grew the per-rank `threads` field. Pin the
+  // version so a future bump is a conscious act.
+  EXPECT_EQ(obs::kReportSchemaVersion, 3u);
 
   obs::MetricsRegistry reg;
   reg.add("calls", 3);

@@ -1,0 +1,335 @@
+// The shared thread-pool backbone: pool lifecycle (sizing, shutdown and
+// revival, re-entrancy, nested submission), the deterministic chunking
+// helpers, and the tentpole guarantee — every pooled pipeline stage is
+// bit-identical to its sequential execution at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/inflate.hpp"
+#include "core/prune.hpp"
+#include "dist/distmat.hpp"
+#include "estimate/cohen.hpp"
+#include "io/matrix_market.hpp"
+#include "merge/kway.hpp"
+#include "sim/machine.hpp"
+#include "sparse/convert.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/hash_parallel.hpp"
+#include "spgemm/registry.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace mclx;
+using dist::DistMat;
+using dist::ProcGrid;
+using C = sparse::Csc<vidx_t, val_t>;
+using T = sparse::Triples<vidx_t, val_t>;
+
+T random_triples(vidx_t n, std::uint64_t entries, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  T t(n, n);
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(n)),
+                     static_cast<vidx_t>(rng.bounded(n)), rng.uniform_pos());
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+C random_csc(vidx_t n, std::uint64_t entries, std::uint64_t seed) {
+  return sparse::csc_from_triples(random_triples(n, entries, seed));
+}
+
+/// Restores the default pool configuration when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { par::set_threads(0); }
+};
+
+// ---------------------------------------------------------------------------
+// chunk_range: the determinism contract's single source of truth.
+
+TEST(ChunkRange, CoversRangeExactlyInOrder) {
+  for (const int n : {0, 1, 7, 64, 87, 1000}) {
+    for (const int chunks : {1, 2, 3, 8, 17}) {
+      int expected_lo = 0;
+      for (int c = 0; c < chunks; ++c) {
+        const auto [lo, hi] = par::chunk_range(0, n, chunks, c);
+        EXPECT_EQ(lo, expected_lo);
+        EXPECT_LE(lo, hi);
+        // Balanced to within one element.
+        EXPECT_LE(hi - lo, n / chunks + 1);
+        expected_lo = hi;
+      }
+      EXPECT_EQ(expected_lo, n);
+    }
+  }
+}
+
+TEST(ChunkRange, IndependentOfAnyGlobalState) {
+  // Same inputs, same boundaries — before and after resizing the pool.
+  PoolGuard guard;
+  const auto before = par::chunk_range(10, 97, 4, 2);
+  par::set_threads(3);
+  const auto after = par::chunk_range(10, 97, 4, 2);
+  EXPECT_EQ(before, after);
+}
+
+// ---------------------------------------------------------------------------
+// Pool lifecycle.
+
+TEST(ThreadPool, SizeFollowsConfiguration) {
+  PoolGuard guard;
+  par::set_threads(3);
+  EXPECT_EQ(par::threads(), 3);
+  EXPECT_EQ(par::pool().size(), 3);
+  par::set_threads(1);
+  EXPECT_EQ(par::pool().size(), 1);
+}
+
+TEST(ThreadPool, ShutdownRevives) {
+  PoolGuard guard;
+  par::set_threads(2);
+  std::vector<int> out(10, 0);
+  par::parallel_for(0, 10, [&](int i) { out[static_cast<std::size_t>(i)] = i; });
+  par::shutdown();
+  // Next use rebuilds the pool at the configured size.
+  std::vector<int> out2(10, 0);
+  par::parallel_for(0, 10,
+                    [&](int i) { out2[static_cast<std::size_t>(i)] = i; });
+  EXPECT_EQ(out, out2);
+  EXPECT_EQ(par::pool().size(), 2);
+}
+
+TEST(ThreadPool, RunExecutesEveryLaneExactlyOnce) {
+  PoolGuard guard;
+  par::set_threads(4);
+  std::vector<std::atomic<int>> hits(64);
+  par::pool().run(64, [&](int lane) {
+    hits[static_cast<std::size_t>(lane)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroLanesIsANoop) {
+  PoolGuard guard;
+  par::set_threads(2);
+  bool called = false;
+  par::pool().run(0, [&](int) { called = true; });
+  EXPECT_FALSE(called);
+  par::parallel_for(5, 5, [&](int) { called = true; });  // empty range
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInline) {
+  PoolGuard guard;
+  par::set_threads(4);
+  std::vector<std::atomic<int>> inner_hits(8);
+  std::atomic<int> outer_hits{0};
+  par::pool().run(4, [&](int) {
+    outer_hits.fetch_add(1);
+    EXPECT_TRUE(par::in_parallel_region());
+    // A nested run must complete inline without deadlock and execute
+    // every lane.
+    par::pool().run(8, [&](int lane) {
+      inner_hits[static_cast<std::size_t>(lane)].fetch_add(1);
+    });
+  });
+  EXPECT_EQ(outer_hits.load(), 4);
+  for (const auto& h : inner_hits) EXPECT_EQ(h.load(), 4);  // once per outer
+  EXPECT_FALSE(par::in_parallel_region());
+}
+
+TEST(ThreadPool, ReentrantAcrossManyRuns) {
+  PoolGuard guard;
+  par::set_threads(3);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    total += par::parallel_reduce(
+        0, 1000, std::uint64_t{0},
+        [](int lo, int hi) {
+          std::uint64_t s = 0;
+          for (int i = lo; i < hi; ++i) s += static_cast<std::uint64_t>(i);
+          return s;
+        },
+        [](std::uint64_t x, std::uint64_t y) { return x + y; });
+  }
+  EXPECT_EQ(total, 50ull * (999ull * 1000ull / 2));
+}
+
+TEST(ThreadPool, CountsRunsAndTasks) {
+  PoolGuard guard;
+  par::set_threads(2);
+  auto& p = par::pool();
+  const std::uint64_t runs0 = p.runs();
+  const std::uint64_t tasks0 = p.tasks();
+  p.run(5, [](int) {});
+  p.run(1, [](int) {});
+  EXPECT_EQ(p.runs(), runs0 + 2);
+  EXPECT_EQ(p.tasks(), tasks0 + 6);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid-policy integration: the registry can pick the pooled kernel.
+
+TEST(HybridSelection, PoolWidthGatesTheParallelKernel) {
+  const spgemm::HybridPolicy policy;
+  // Above the flops bar with a multi-thread pool: pooled kernel.
+  EXPECT_EQ(policy.select(2'000'000, 8.0, false, 4),
+            spgemm::KernelKind::kCpuHashParallel);
+  // Single-threaded pool: sequential split, whatever the flops.
+  EXPECT_EQ(policy.select(2'000'000, 8.0, false, 1),
+            spgemm::KernelKind::kCpuHash);
+  // Below the bar: fork/join overhead not worth it.
+  EXPECT_EQ(policy.select(500'000, 8.0, false, 4),
+            spgemm::KernelKind::kCpuHash);
+  // The 3-arg form (pool_threads defaulted to 1) is unchanged behavior.
+  EXPECT_EQ(policy.select(2'000'000, 8.0, false),
+            spgemm::KernelKind::kCpuHash);
+  // GPU availability still wins at high flops.
+  EXPECT_EQ(policy.select(2'000'000, 8.0, true, 4),
+            spgemm::KernelKind::kGpuNsparse);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity sweeps: every pooled stage vs its 1-thread execution.
+
+class ThreadSweep : public testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { par::set_threads(GetParam()); }
+  void TearDown() override { par::set_threads(0); }
+};
+
+TEST_P(ThreadSweep, SpgemmAndSymbolic) {
+  const C a = random_csc(150, 2500, 21);
+  const C b = random_csc(150, 2200, 22);
+
+  par::set_threads(1);
+  const C seq = spgemm::parallel_hash_spgemm(a, b);
+  const auto sym_seq = spgemm::symbolic_nnz_per_col(a, b);
+
+  par::set_threads(GetParam());
+  EXPECT_EQ(seq, spgemm::parallel_hash_spgemm(a, b));
+  EXPECT_EQ(sym_seq, spgemm::symbolic_nnz_per_col(a, b));
+  EXPECT_EQ(seq, spgemm::hash_spgemm(a, b));  // and vs the scalar kernel
+}
+
+TEST_P(ThreadSweep, PruneWithRecoveryAndTopK) {
+  const T t = random_triples(48, 2000, 23);
+  core::PruneParams p;
+  p.cutoff = 0.35;
+  p.select_k = 6;
+  p.recover_num = 3;
+
+  par::set_threads(1);
+  DistMat m_seq = DistMat::from_triples(t, ProcGrid(4));
+  sim::SimState sim_seq(sim::summit_like(4));
+  core::distributed_prune(m_seq, p, sim_seq);
+  const C seq = m_seq.to_csc();
+
+  par::set_threads(GetParam());
+  DistMat m_par = DistMat::from_triples(t, ProcGrid(4));
+  sim::SimState sim_par(sim::summit_like(4));
+  core::distributed_prune(m_par, p, sim_par);
+  EXPECT_EQ(seq, m_par.to_csc());
+}
+
+TEST_P(ThreadSweep, InflateNormalizeHadamard) {
+  const T t = random_triples(40, 900, 24);
+
+  par::set_threads(1);
+  DistMat m_seq = DistMat::from_triples(t, ProcGrid(4));
+  sim::SimState sim_seq(sim::summit_like(4));
+  core::distributed_inflate(m_seq, 2.0, sim_seq);
+  const C seq = m_seq.to_csc();
+
+  par::set_threads(GetParam());
+  DistMat m_par = DistMat::from_triples(t, ProcGrid(4));
+  sim::SimState sim_par(sim::summit_like(4));
+  core::distributed_inflate(m_par, 2.0, sim_par);
+
+  // Bitwise, not approx: same per-column FP order at any thread count.
+  const C par_c = m_par.to_csc();
+  ASSERT_EQ(seq.colptr(), par_c.colptr());
+  ASSERT_EQ(seq.rowids(), par_c.rowids());
+  EXPECT_EQ(seq.vals(), par_c.vals());
+}
+
+TEST_P(ThreadSweep, CohenEstimator) {
+  const C a = random_csc(200, 3000, 25);
+  const C b = random_csc(200, 2800, 26);
+
+  par::set_threads(1);
+  const auto seq = estimate::cohen_nnz_estimate(a, b, 16, 99);
+
+  par::set_threads(GetParam());
+  const auto par_est = estimate::cohen_nnz_estimate(a, b, 16, 99);
+  EXPECT_EQ(seq.per_col, par_est.per_col);
+  EXPECT_EQ(seq.total, par_est.total);
+}
+
+TEST_P(ThreadSweep, KwayMerge) {
+  std::vector<C> blocks;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    blocks.push_back(random_csc(60, 700, 30 + s));
+  }
+
+  par::set_threads(1);
+  const C seq = merge::kway_merge(blocks);
+
+  par::set_threads(GetParam());
+  const C par_c = merge::kway_merge(blocks);
+  ASSERT_EQ(seq.colptr(), par_c.colptr());
+  ASSERT_EQ(seq.rowids(), par_c.rowids());
+  EXPECT_EQ(seq.vals(), par_c.vals());
+}
+
+TEST_P(ThreadSweep, MatrixMarketParse) {
+  // Symmetric input: the mirror pushes must land in the same order as
+  // the sequential reader for sort_and_combine to fold identically.
+  std::ostringstream mtx;
+  mtx << "%%MatrixMarket matrix coordinate real symmetric\n"
+      << "% generated\n"
+      << "50 50 120\n";
+  util::Xoshiro256 rng(31);
+  for (int e = 0; e < 120; ++e) {
+    const auto r = 1 + rng.bounded(50);
+    const auto c = 1 + rng.bounded(50);
+    mtx << r << ' ' << c << ' ' << rng.uniform_pos() << '\n';
+  }
+  const std::string text = mtx.str();
+
+  par::set_threads(1);
+  std::istringstream in_seq(text);
+  const io::MmTriples seq = io::read_matrix_market(in_seq);
+
+  par::set_threads(GetParam());
+  std::istringstream in_par(text);
+  EXPECT_EQ(seq, io::read_matrix_market(in_par));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ThreadSweep,
+                         testing::Values(1, 2, 3, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(MatrixMarketParallel, BadEntrySurfacesAsException) {
+  PoolGuard guard;
+  par::set_threads(4);
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 0.5\n"
+      "4 1 0.5\n");  // out of bounds
+  EXPECT_THROW(io::read_matrix_market(in), std::runtime_error);
+}
+
+}  // namespace

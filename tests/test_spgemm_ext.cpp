@@ -92,6 +92,36 @@ TEST(ParallelHash, DimensionMismatchThrows) {
   EXPECT_THROW(spgemm::parallel_hash_spgemm(a, b, 2), std::invalid_argument);
 }
 
+TEST(ParallelHash, PartitionBoundariesDoNotDrift) {
+  // 87 columns of exactly one flop each split 8 ways. The cumulative
+  // target for boundary i must be (total*i)/parts; the old per-part
+  // floor (total/parts * i) accumulated its rounding error and dumped
+  // up to parts-1 extra columns on the last lane (17 here vs a fair 11).
+  const vidx_t n = 87;
+  T ta(n, n), tb(n, n);
+  for (vidx_t j = 0; j < n; ++j) {
+    ta.push_unchecked(j, j, 1.0);                // identity: col_nnz = 1
+    tb.push_unchecked((j * 7) % n, j, 1.0);      // one entry per column
+  }
+  ta.sort_and_combine();
+  tb.sort_and_combine();
+  const C a = sparse::csc_from_triples(std::move(ta));
+  const C b = sparse::csc_from_triples(std::move(tb));
+
+  const int parts = 8;
+  const auto bounds = spgemm::detail::partition_columns_by_flops(a, b, parts);
+  ASSERT_EQ(bounds.size(), static_cast<std::size_t>(parts) + 1);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), n);
+  vidx_t widest = 0;
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    ASSERT_LE(bounds[i], bounds[i + 1]);
+    widest = std::max(widest, bounds[i + 1] - bounds[i]);
+  }
+  // ceil(87/8) = 11; allow one column of slack, far below the drifting 17.
+  EXPECT_LE(widest, 12);
+}
+
 // ---------------------------------------------------------------------------
 // Semirings.
 
