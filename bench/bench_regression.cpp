@@ -53,14 +53,17 @@ int main(int argc, char** argv) try {
   config.measure_estimation_error = true;
 
   obs::MetricsRegistry registry;
+  obs::MemLedger ledger;
   sim::SimState sim(sim::summit_like(nodes));
   util::WallTimer wall;
   core::MclResult result;
   {
     obs::ScopedMetrics scope(registry);
+    obs::ScopedMemLedger mem_scope(ledger);
     result = core::run_hipmcl(graph.edges, params, config, sim);
   }
   const double real_wall_s = wall.elapsed_s();
+  ledger.publish(registry);
 
   const gen::ClusterQuality quality =
       gen::score_clustering(result.labels, graph.labels);
@@ -84,8 +87,10 @@ int main(int argc, char** argv) try {
   // joined in PR 3; version 1 had everything else. Version 3: `threads`
   // in the workload block and the `real` block (measured multicore
   // wall times — machine-dependent, ignored by the gate like
-  // real_wall_s).
-  w.field("schema_version", std::uint64_t{3});
+  // real_wall_s). Version 4: ledger-backed memory.peak_* byte fields
+  // and the estimator-audit distributions (estimate.rel_error,
+  // memory.charge_bytes).
+  w.field("schema_version", std::uint64_t{4});
   w.field("bench", "bench_regression");
 
   w.begin_object("workload");
@@ -129,6 +134,19 @@ int main(int argc, char** argv) try {
   w.field("merge_peak_elements_sum_max", merge_peak_sum_max);
   w.field("merge_peak_elements_max", merge_peak_rank_max);
   w.field("merge_events", registry.counter("merge.events"));
+  // Ledger-backed byte peaks. Only main-thread-charged labels are gated
+  // here: labels charged from pool workers (spgemm.hash_table,
+  // merge.scratch, ...) have interleaving-dependent high-water marks and
+  // would make the gate flaky.
+  w.field("peak_merge_resident_bytes_max",
+          ledger.prefix_high_water_max("merge.resident."));
+  w.field("peak_merge_resident_bytes_sum",
+          ledger.prefix_high_water_sum("merge.resident."));
+  w.field("peak_bcast_payload_bytes",
+          ledger.label_stats("summa.bcast_payload").high_water_bytes);
+  w.field("peak_dist_staging_bytes",
+          ledger.label_stats("dist.staging").high_water_bytes);
+  w.field("ledger_charges", ledger.total_charges());
   w.end_object();
 
   w.begin_object("estimator");

@@ -35,14 +35,35 @@ int main(int argc, char** argv) {
   }
   t.header(header);
 
+  // Each run gets its own ledger so the "merge.resident.r<rank>" byte
+  // tracks give an independently measured peak next to the legacy
+  // element counters (they must agree: same events, different units).
+  struct LedgerPeaks {
+    std::uint64_t rank_max = 0;  ///< worst single rank, whole run
+    std::uint64_t rank_sum = 0;  ///< sum of per-rank whole-run peaks
+  };
+  auto run_with_ledger = [&](const gen::Dataset& data,
+                             const core::HipMclConfig& config,
+                             LedgerPeaks* peaks) {
+    obs::MemLedger ledger;
+    obs::ScopedMemLedger scope(ledger);
+    core::MclResult r = bench::run(data, nodes, config, params);
+    peaks->rank_max = ledger.prefix_high_water_max("merge.resident.");
+    peaks->rank_sum = ledger.prefix_high_water_sum("merge.resident.");
+    return r;
+  };
+
   std::vector<core::MclResult> mway, binary;
+  std::vector<LedgerPeaks> mway_peaks, binary_peaks;
   for (const auto& name : gen::medium_dataset_names()) {
     const gen::Dataset data = gen::make_dataset(name, scale);
     core::HipMclConfig multiway_config = core::HipMclConfig::optimized();
     multiway_config.binary_merge = false;
-    mway.push_back(bench::run(data, nodes, multiway_config, params));
-    binary.push_back(
-        bench::run(data, nodes, core::HipMclConfig::optimized(), params));
+    mway_peaks.emplace_back();
+    mway.push_back(run_with_ledger(data, multiway_config, &mway_peaks.back()));
+    binary_peaks.emplace_back();
+    binary.push_back(run_with_ledger(data, core::HipMclConfig::optimized(),
+                                     &binary_peaks.back()));
   }
 
   double worst_impr = 100.0, best_impr = 0.0;
@@ -76,6 +97,36 @@ int main(int argc, char** argv) {
          util::Table::fmt_pct(worst_impr, 0) + " to " +
          util::Table::fmt_pct(best_impr, 0));
   t.print(std::cout);
+
+  // Ledger cross-check: the byte-accounted peaks against the legacy
+  // element counters. "legacy max rank" is max over iterations of
+  // merge_peak_max converted to bytes — the ledger's worst-rank track
+  // must land on exactly the same number.
+  util::Table lt("Table III cross-check — ledger-measured merge peaks "
+                 "(MiB), whole run");
+  lt.header({"dataset", "merge", "legacy max rank", "ledger max rank",
+             "ledger all ranks", "match"});
+  const auto datasets = gen::medium_dataset_names();
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    for (int variant = 0; variant < 2; ++variant) {
+      const core::MclResult& r = variant == 0 ? mway[d] : binary[d];
+      const LedgerPeaks& p = variant == 0 ? mway_peaks[d] : binary_peaks[d];
+      std::uint64_t legacy_max = 0;
+      for (const auto& it : r.iters) {
+        legacy_max = std::max(legacy_max, it.merge_peak_max);
+      }
+      const auto legacy_bytes =
+          static_cast<std::uint64_t>(legacy_max * kBytesPerElem);
+      lt.row({datasets[d], variant == 0 ? "mway" : "binary",
+              util::Table::fmt(static_cast<double>(legacy_bytes) / kMiB, 2),
+              util::Table::fmt(static_cast<double>(p.rank_max) / kMiB, 2),
+              util::Table::fmt(static_cast<double>(p.rank_sum) / kMiB, 2),
+              legacy_bytes == p.rank_max ? "yes" : "NO"});
+    }
+  }
+  lt.note("ledger 'all ranks' sums each rank's own whole-run peak, so it "
+          "can exceed the worst single iteration's all-rank sum above");
+  lt.print(std::cout);
 
   bench::print_paper_reference(
       "Table III: binary merge needs 20-25% less peak memory than "

@@ -14,6 +14,7 @@
 
 #include "core/hipmcl.hpp"
 #include "gen/datasets.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "sim/eventlog.hpp"
@@ -28,8 +29,11 @@ namespace mclx::bench {
 /// Observability flags shared by the benches. Constructing an ObsScope
 /// registers --metrics-out and --trace-out on the bench's Cli and, when
 /// either was passed, installs the corresponding global sink for the
-/// scope's lifetime; finish() writes the requested files. Benches that
-/// run several configurations aggregate them all into one registry.
+/// scope's lifetime; finish() writes the requested files. A memory
+/// ledger is always installed (charging is cheap and changes nothing),
+/// so every bench gets ledger peaks and the estimator-audit channels
+/// for free. Benches that run several configurations aggregate them all
+/// into one registry / ledger.
 class ObsScope {
  public:
   explicit ObsScope(util::Cli& cli)
@@ -44,11 +48,15 @@ class ObsScope {
 
   obs::MetricsRegistry& registry() { return registry_; }
   sim::EventLog& trace() { return trace_; }
+  obs::MemLedger& ledger() { return ledger_; }
 
   /// Write whatever was requested. With a result, the metrics file is a
   /// full RunReport (per-iteration records); without, a registry dump.
+  /// Folds the ledger into the registry first and always reports the
+  /// process high-water mark (VmHWM) alongside whatever was written.
   void finish(const core::MclResult* result = nullptr,
-              const obs::RunInfo& info = {}) const {
+              const obs::RunInfo& info = {}) {
+    if (ledger_.total_charges() > 0) ledger_.publish(registry_);
     if (!metrics_path_.empty()) {
       const obs::RunReport report =
           result ? obs::make_run_report(*result, info, &registry_)
@@ -61,15 +69,28 @@ class ObsScope {
       std::cerr << "[obs] wrote " << trace_.size() << " timeline events to "
                 << trace_path_ << "\n";
     }
+    const obs::ProcMemSample proc = obs::read_proc_mem();
+    std::cerr << "[obs] ledger: " << ledger_.total_charges() << " charges, "
+              << ledger_.total_high_water_bytes() << " tracked peak bytes; "
+              << "process vm_hwm "
+              << (proc.available
+                      ? util::Table::fmt(
+                            static_cast<double>(proc.vm_hwm_bytes) /
+                                (1024.0 * 1024.0),
+                            1) + " MiB"
+                      : std::string("unavailable"))
+              << "\n";
   }
 
  private:
   obs::MetricsRegistry registry_;
   sim::EventLog trace_;
+  obs::MemLedger ledger_;
   std::string metrics_path_;
   std::string trace_path_;
   std::optional<obs::ScopedMetrics> metrics_scope_;
   std::optional<sim::ScopedEventLog> trace_scope_;
+  obs::ScopedMemLedger ledger_scope_{ledger_};
 };
 
 /// MCL parameters used across benches: inflation 2 (as in all paper

@@ -10,14 +10,17 @@
 //                [--cutoff 1e-4] [--recover 0] [--mem-gb 0]
 //                [--config optimized] [--estimator probabilistic]
 //                [--metrics-out run.jsonl] [--trace-out run.trace.json]
-//                [--analyze]
+//                [--trace-chrome run.chrome.json] [--analyze]
 //
 // --metrics-out writes the run's JSONL RunReport (one record per MCL
 // iteration plus counters; schema in docs/OBSERVABILITY.md);
 // --trace-out writes the simulated timelines as Chrome-tracing JSON
-// (open in Perfetto / chrome://tracing); --analyze prints the trace
-// analytics — overlap efficiency (Table II), per-stage idle attribution
-// (Table V) and the critical path — without needing a trace viewer.
+// (open in Perfetto / chrome://tracing); --trace-chrome additionally
+// folds the memory ledger's byte tracks into the trace as counter
+// events, so resident merge/staging/broadcast bytes plot under the
+// rank timelines; --analyze prints the trace analytics — overlap
+// efficiency (Table II), per-stage idle attribution (Table V) and the
+// critical path — without needing a trace viewer.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -83,6 +86,8 @@ int main(int argc, char** argv) try {
       "write the run's JSONL metrics report here");
   const std::string trace_out = cli.get("trace-out", "",
       "write a Chrome-tracing JSON of the simulated timelines here");
+  const std::string trace_chrome = cli.get("trace-chrome", "",
+      "write a Chrome trace-event JSON with memory counter tracks here");
   const bool analyze = cli.get_bool("analyze", false,
       "print trace analytics: overlap efficiency, idle attribution, "
       "critical path");
@@ -127,17 +132,30 @@ int main(int argc, char** argv) try {
             << " per rank)\n";
 
   // Observability sinks, installed only when an output was requested
-  // (--analyze needs the event log even without --trace-out).
+  // (--analyze needs the event log even without --trace-out; the memory
+  // ledger rides along with the metrics report and drives the
+  // --trace-chrome counter tracks, stamped in virtual seconds).
   obs::MetricsRegistry registry;
   sim::EventLog trace;
+  obs::MemLedger ledger;
+  const bool want_ledger = !metrics_out.empty() || !trace_chrome.empty();
+  if (!trace_chrome.empty()) {
+    ledger.enable_timeline([&sim] { return sim.elapsed(); });
+    ledger.set_process_sample_interval(64);
+  }
   core::MclResult result;
   {
     std::optional<obs::ScopedMetrics> metrics_scope;
     std::optional<sim::ScopedEventLog> trace_scope;
+    std::optional<obs::ScopedMemLedger> ledger_scope;
     if (!metrics_out.empty()) metrics_scope.emplace(registry);
-    if (!trace_out.empty() || analyze) trace_scope.emplace(trace);
+    if (!trace_out.empty() || !trace_chrome.empty() || analyze) {
+      trace_scope.emplace(trace);
+    }
+    if (want_ledger) ledger_scope.emplace(ledger);
     result = core::run_hipmcl(network, params, config, sim);
   }
+  if (want_ledger) ledger.publish(registry);
 
   if (!metrics_out.empty()) {
     obs::RunInfo info;
@@ -158,6 +176,12 @@ int main(int argc, char** argv) try {
     trace.write_chrome_trace_file(trace_out);
     std::cout << "wrote " << trace.size() << " timeline events to "
               << trace_out << " (open in chrome://tracing or Perfetto)\n";
+  }
+  if (!trace_chrome.empty()) {
+    obs::write_chrome_trace_file(trace_chrome, trace, &ledger);
+    std::cout << "wrote " << trace.size() << " timeline events and "
+              << ledger.timeline().size() << " memory counter points to "
+              << trace_chrome << " (open in chrome://tracing or Perfetto)\n";
   }
   if (analyze) {
     obs::print_trace_analysis(std::cout, obs::analyze_trace(trace));

@@ -4,13 +4,16 @@
 //
 //   mclx_perfdiff <baseline.json> <candidate.json>
 //                 [--rel-tol 1e-9] [--all] [--with-real-wall]
-//                 [--ignore <path-prefix>]...
+//                 [--strict-missing] [--ignore <path-prefix>]...
 //
 // Exit status: 0 when no field regressed (improvements and
-// within-tolerance drift pass), 1 on any regression / missing field,
-// 2 on usage or I/O errors. CI runs this against the committed
-// bench/BENCH_baseline.json so out-of-tolerance deterministic fields
-// fail the build.
+// within-tolerance drift pass), 1 on any regression (or, with
+// --strict-missing, any baseline field absent from the candidate),
+// 2 on usage or I/O errors. Fields present on only one side are
+// reported as removed/added and skipped by default, so a schema bump
+// diffs cleanly against an older baseline. CI runs this against the
+// committed bench/BENCH_baseline.json so out-of-tolerance
+// deterministic fields fail the build.
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
@@ -24,13 +27,15 @@ namespace {
 constexpr const char* kUsage =
     "usage: mclx_perfdiff <baseline.json> <candidate.json>\n"
     "                     [--rel-tol <rel>] [--all] [--with-real-wall]\n"
-    "                     [--ignore <path-prefix>]...\n"
+    "                     [--strict-missing] [--ignore <path-prefix>]...\n"
     "\n"
     "  --rel-tol <rel>    relative tolerance for numeric fields\n"
     "                     (default 1e-9: deterministic fields stay strict,\n"
     "                     cross-compiler FP representation noise passes)\n"
     "  --all              print every field, not just changed ones\n"
     "  --with-real-wall   also compare real_wall_s (ignored by default)\n"
+    "  --strict-missing   fail when a baseline field is absent from the\n"
+    "                     candidate (default: report as removed, skip)\n"
     "  --ignore <prefix>  ignore fields whose dotted path starts with "
     "<prefix>\n";
 
@@ -59,6 +64,8 @@ int main(int argc, char** argv) try {
       show_all = true;
     } else if (arg == "--with-real-wall") {
       opt.ignore_real_wall = false;
+    } else if (arg == "--strict-missing") {
+      opt.strict_missing = true;
     } else if (arg == "--ignore") {
       opt.ignored_prefixes.push_back(next("--ignore"));
     } else if (arg.rfind("--", 0) == 0) {

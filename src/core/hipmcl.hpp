@@ -81,6 +81,10 @@ struct IterationReport {
   std::uint64_t flops = 0;             ///< flops(A·A)
   double est_unpruned_nnz = 0;         ///< estimator output
   double exact_unpruned_nnz = 0;       ///< 0 unless exact path or measured
+  /// nnz of the merged-but-unpruned product, measured from the chunks
+  /// the expansion materializes (free, unlike the uncharged symbolic
+  /// pass behind exact_unpruned_nnz — though both equal nnz(A·A)).
+  std::uint64_t measured_unpruned_nnz = 0;
   bool used_exact_estimator = false;   ///< which path this iteration took
   double cf = 0;                       ///< flops / est nnz
   int phases = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/mem.hpp"
 #include "sparse/convert.hpp"
 
 namespace mclx::dist {
@@ -70,6 +71,11 @@ DistMat DistMat::from_triples(const TriplesD& t, ProcGrid grid) {
     buckets[static_cast<std::size_t>(grid.rank_of(bi, bj))].push_unchecked(
         e.row - m.row_offset(bi), e.col - m.col_offset(bj), e.val);
   }
+  // The filled buckets coexist with the input until the blocks are
+  // built; charge them as distribution staging.
+  obs::MemScope staging_mem(
+      "dist.staging", t.nnz() * static_cast<std::uint64_t>(
+                                    sizeof(decltype(*t.begin()))));
   for (int i = 0; i < dim; ++i) {
     for (int j = 0; j < dim; ++j) {
       m.set_block(i, j,
@@ -83,6 +89,9 @@ DistMat DistMat::from_triples(const TriplesD& t, ProcGrid grid) {
 TriplesD DistMat::to_triples() const {
   TriplesD out(nrows_, ncols_);
   out.reserve(nnz());
+  const obs::MemScope staging_mem(
+      "dist.staging", nnz() * static_cast<std::uint64_t>(
+                                  sizeof(decltype(*out.begin()))));
   for (int i = 0; i < dim(); ++i) {
     for (int j = 0; j < dim(); ++j) {
       const DcscD& b = block(i, j);

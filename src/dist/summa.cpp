@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "merge/binary.hpp"
 #include "merge/multiway.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
@@ -90,6 +93,7 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
   std::vector<std::vector<CscD>> rank_phase_chunks(
       static_cast<std::size_t>(nranks));
   std::vector<std::uint64_t> rank_peak(static_cast<std::size_t>(nranks), 0);
+  std::uint64_t unpruned_bytes = 0;
 
   for (int phase = 0; phase < opt.phases; ++phase) {
     if (phase > 0) {
@@ -98,13 +102,31 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
         sim.rank(r).gpu_skew_to(sim.rank(r).cpu_now());
       }
     }
-    // Fresh mergers each phase.
+    // Fresh mergers each phase. Per-rank ledger tracks mirror each
+    // merger's resident elements as bytes: the simulation visits ranks
+    // sequentially, so a shared label would conflate ranks, while
+    // per-rank labels let prefix_high_water_max("merge.resident.")
+    // re-derive merge_peak_elements_max independently.
     std::vector<merge::BinaryMerger<vidx_t, val_t>> bmergers;
     std::vector<merge::MultiwayMerger<vidx_t, val_t>> mmergers;
     if (opt.binary_merge) {
       bmergers.resize(static_cast<std::size_t>(nranks));
     } else {
       mmergers.resize(static_cast<std::size_t>(nranks));
+    }
+    if (obs::MemLedger* ml = obs::mem_ledger()) {
+      constexpr std::uint64_t kBytesPerElem = sizeof(vidx_t) + sizeof(val_t);
+      for (int r = 0; r < nranks; ++r) {
+        obs::MemTracker tracker(ml, "merge.resident.r" + std::to_string(r),
+                                kBytesPerElem);
+        if (opt.binary_merge) {
+          bmergers[static_cast<std::size_t>(r)].set_mem_tracker(
+              std::move(tracker));
+        } else {
+          mmergers[static_cast<std::size_t>(r)].set_mem_tracker(
+              std::move(tracker));
+        }
+      }
     }
     std::vector<vtime_t> result_ready(static_cast<std::size_t>(nranks), 0);
 
@@ -143,18 +165,24 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
         b_chunk[static_cast<std::size_t>(j)] =
             sparse::csc_col_slice(full, c0, c1);
       }
+      std::uint64_t staging_bytes = 0;
+      for (const CscD& m : a_csc) staging_bytes += m.bytes();
+      for (const CscD& m : b_chunk) staging_bytes += m.bytes();
+      obs::MemScope staging_mem("summa.staging", staging_bytes);
 
       // Row broadcasts of A(i,k); column broadcasts of B(k,j)'s chunk.
       for (int i = 0; i < dim; ++i) {
         const auto group = a.grid().row_ranks(i);
         const bytes_t bytes = a.block(i, k).bytes();
         obs::record("summa.bcast_bytes", static_cast<double>(bytes));
+        obs::MemScope payload_mem("summa.bcast_payload", bytes);
         sim::sim_bcast(sim, group, bytes, Stage::kSummaBcast);
       }
       for (int j = 0; j < dim; ++j) {
         const auto group = a.grid().col_ranks(j);
         const bytes_t bytes = b_chunk[static_cast<std::size_t>(j)].bytes();
         obs::record("summa.bcast_bytes", static_cast<double>(bytes));
+        obs::MemScope payload_mem("summa.bcast_payload", bytes);
         sim::sim_bcast(sim, group, bytes, Stage::kSummaBcast);
       }
 
@@ -243,6 +271,14 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
       tl.join();
     }
 
+    // Measure the unpruned product before the sink mutates the chunks:
+    // summed over ranks and phases this is exactly nnz(A·B), the actual
+    // the estimator audit joins against Cohen's prediction.
+    for (const CscD& chunk : chunks) {
+      stats.unpruned_nnz += chunk.nnz();
+      unpruned_bytes += chunk.bytes();
+    }
+
     if (sink) {
       const vtime_t sink_start = sim.elapsed();
       sink(phase, chunks);
@@ -312,6 +348,13 @@ SummaResult summa_multiply(const DistMat& a, const DistMat& b,
     obs::record("summa.merge_s", stats.merge_time);
     obs::record("summa.overall_s", stats.elapsed);
   }
+  // Estimator-audit actual for the planner's per-rank-per-phase bytes
+  // model (the nnz actual joins in core/hipmcl, which knows which
+  // estimator produced the prediction).
+  obs::mem_measure("memory.phase_bytes",
+                   static_cast<double>(unpruned_bytes) /
+                       (static_cast<double>(nranks) *
+                        static_cast<double>(opt.phases)));
   return result;
 }
 

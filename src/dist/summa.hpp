@@ -49,6 +49,11 @@ struct SummaStats {
   /// each rank contributes its worst phase (Table III's peak memory).
   std::uint64_t merge_peak_elements_sum = 0;
   std::uint64_t merge_peak_elements_max = 0;
+  /// Total nnz of the merged-but-not-yet-pruned product across all ranks
+  /// and phases — the measured actual the estimator audit joins against
+  /// Cohen's prediction (equals symbolic nnz(A·B), but measured for free
+  /// from the chunks SUMMA materializes anyway).
+  std::uint64_t unpruned_nnz = 0;
   int gpu_fallbacks = 0;
   /// Per-operation times: max over ranks of virtual time attributed to
   /// the stage *within this call* (Table II's columns). SpGEMM includes

@@ -18,6 +18,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "sparse/csc.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -45,6 +46,9 @@ CohenEstimate cohen_nnz_estimate(const sparse::Csc<IT, VT>& a,
   // First layer: r exponential keys per row of A, laid out row-major.
   util::Xoshiro256 rng(seed);
   std::vector<double> row_keys(nrows * r);
+  obs::MemScope row_keys_mem("estimate.cohen_keys",
+                             static_cast<std::uint64_t>(row_keys.size()) *
+                                 sizeof(double));
   for (auto& k : row_keys) k = rng.exponential(1.0);
 
   // Middle layer: per-slot min over the rows appearing in each A column.
@@ -54,6 +58,9 @@ CohenEstimate cohen_nnz_estimate(const sparse::Csc<IT, VT>& a,
   // splits a column, so results match the sequential pass bitwise.
   const auto mid = static_cast<std::size_t>(a.ncols());
   std::vector<double> mid_keys(mid * r, kInf);
+  obs::MemScope mid_keys_mem("estimate.cohen_keys",
+                             static_cast<std::uint64_t>(mid_keys.size()) *
+                                 sizeof(double));
   par::parallel_for(IT{0}, a.ncols(), [&](IT k) {
     auto* dst = &mid_keys[static_cast<std::size_t>(k) * r];
     for (const IT i : a.col_rows(k)) {
@@ -95,6 +102,9 @@ CohenEstimate cohen_nnz_estimate(const sparse::Csc<IT, VT>& a,
     }
   });
   for (const double c : est.per_col) est.total += c;
+  // Estimator-audit prediction; the expansion that consumes this
+  // estimate measures the true unpruned nnz (core/hipmcl joins them).
+  obs::mem_predict("estimate.unpruned_nnz", est.total);
   return est;
 }
 

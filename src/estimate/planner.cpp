@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 
 namespace mclx::estimate {
@@ -48,6 +49,10 @@ PhasePlan plan_phases(const PhasePlanInput& in) {
         "planner.est_bytes_per_rank_per_phase",
         static_cast<double>(plan.est_bytes_per_rank_per_phase));
   }
+  // Estimator-audit prediction: the expansion this plan sizes measures
+  // its materialized per-rank-per-phase bytes against this (dist/summa).
+  obs::mem_predict("memory.phase_bytes",
+                   static_cast<double>(plan.est_bytes_per_rank_per_phase));
   return plan;
 }
 

@@ -42,6 +42,8 @@
 #include "merge/binary.hpp"
 #include "merge/immediate.hpp"
 #include "merge/multiway.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace_analysis.hpp"

@@ -13,10 +13,12 @@
 // coordinates before the final stage (Table III).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "merge/kway.hpp"
 #include "merge/merge_stats.hpp"
+#include "obs/mem.hpp"
 #include "sparse/csc.hpp"
 
 namespace mclx::merge {
@@ -24,6 +26,13 @@ namespace mclx::merge {
 template <typename IT, typename VT>
 class BinaryMerger {
  public:
+  /// Attach a ledger track: resident elements are mirrored as bytes
+  /// (charge on push/merge output, release on compression/finalize), so
+  /// the track's high-water independently re-derives this merger's
+  /// stats().peak_elements. Default tracker is inert.
+  void set_mem_tracker(obs::MemTracker tracker) {
+    tracker_ = std::move(tracker);
+  }
   /// Result of one push: what merge work (if any) it triggered, so the
   /// pipelined SUMMA can charge the virtual merge time for this stage.
   struct PushOutcome {
@@ -35,6 +44,7 @@ class BinaryMerger {
   /// Push stage result i (1-based stage index tracked internally).
   PushOutcome push(sparse::Csc<IT, VT> list) {
     resident_ += list.nnz();
+    tracker_.charge_elements(list.nnz());
     stack_.push_back(std::move(list));
     ++stage_;
 
@@ -58,6 +68,7 @@ class BinaryMerger {
       result = std::move(stack_.back());
       stack_.clear();
     }
+    tracker_.release_elements(resident_);
     resident_ = 0;
     stage_ = 0;
     return {std::move(result), outcome};
@@ -87,6 +98,8 @@ class BinaryMerger {
 
     resident_ -= e.elements;
     resident_ += merged.nnz();
+    tracker_.release_elements(e.elements);
+    tracker_.charge_elements(merged.nnz());
     stack_.resize(first);
     stack_.push_back(std::move(merged));
 
@@ -101,6 +114,7 @@ class BinaryMerger {
   std::uint64_t resident_ = 0;
   int stage_ = 0;
   MergeStats stats_;
+  obs::MemTracker tracker_;
 };
 
 }  // namespace mclx::merge

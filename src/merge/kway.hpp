@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "sparse/csc.hpp"
 #include "util/parallel.hpp"
 
@@ -106,7 +107,27 @@ sparse::Csc<IT, VT> kway_merge(
     auto& vals = chunk_vals[static_cast<std::size_t>(c)];
     rows.reserve(total / static_cast<std::size_t>(std::max(chunks, 1)));
     vals.reserve(total / static_cast<std::size_t>(std::max(chunks, 1)));
+    // Charge the reservation up front, grow the charge if the chunk's
+    // actual output outran it; scoped so concurrent chunks stack under
+    // one "merge.scratch" label (separate from the per-rank resident
+    // tracks, which the legacy peak accounting must keep matching).
+    obs::MemScope scratch_mem(
+        "merge.scratch",
+        static_cast<std::uint64_t>(rows.capacity()) * sizeof(IT) +
+            static_cast<std::uint64_t>(vals.capacity()) * sizeof(VT));
+    const std::size_t reserved_rows = rows.capacity();
+    const std::size_t reserved_vals = vals.capacity();
     merge_columns(j0, j1, rows, vals);
+    if (rows.capacity() > reserved_rows) {
+      scratch_mem.add(static_cast<std::uint64_t>(rows.capacity() -
+                                                 reserved_rows) *
+                      sizeof(IT));
+    }
+    if (vals.capacity() > reserved_vals) {
+      scratch_mem.add(static_cast<std::uint64_t>(vals.capacity() -
+                                                 reserved_vals) *
+                      sizeof(VT));
+    }
   });
 
   for (IT j = 0; j < ncols; ++j) {

@@ -4,10 +4,12 @@
 // nothing can overlap with the local multiplications (§IV).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "merge/kway.hpp"
 #include "merge/merge_stats.hpp"
+#include "obs/mem.hpp"
 #include "sparse/csc.hpp"
 
 namespace mclx::merge {
@@ -15,9 +17,16 @@ namespace mclx::merge {
 template <typename IT, typename VT>
 class MultiwayMerger {
  public:
+  /// Attach a ledger track mirroring resident elements as bytes (see
+  /// BinaryMerger::set_mem_tracker). Default tracker is inert.
+  void set_mem_tracker(obs::MemTracker tracker) {
+    tracker_ = std::move(tracker);
+  }
+
   /// Stage results accumulate; no work happens until finalize().
   void push(sparse::Csc<IT, VT> list) {
     resident_ += list.nnz();
+    tracker_.charge_elements(list.nnz());
     lists_.push_back(std::move(list));
   }
 
@@ -28,6 +37,7 @@ class MultiwayMerger {
     if (lists_.size() == 1) {
       sparse::Csc<IT, VT> only = std::move(lists_.front());
       lists_.clear();
+      tracker_.release_elements(resident_);
       resident_ = 0;
       return only;
     }
@@ -38,6 +48,7 @@ class MultiwayMerger {
     e.output_elements = merged.nnz();
     stats_.record(e, resident_);
     lists_.clear();
+    tracker_.release_elements(resident_);
     resident_ = 0;
     return merged;
   }
@@ -49,6 +60,7 @@ class MultiwayMerger {
   std::vector<sparse::Csc<IT, VT>> lists_;
   std::uint64_t resident_ = 0;
   MergeStats stats_;
+  obs::MemTracker tracker_;
 };
 
 }  // namespace mclx::merge

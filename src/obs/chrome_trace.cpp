@@ -1,0 +1,50 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/mem.hpp"
+#include "obs/run_report.hpp"
+#include "sim/eventlog.hpp"
+
+namespace mclx::obs {
+
+void write_chrome_trace(std::ostream& os, const sim::EventLog& events,
+                        const MemLedger* mem) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  events.write_trace_events(os, first);
+  if (mem) {
+    // Counter tracks live on their own process, above every rank pid,
+    // so the memory lane renders below the rank swimlanes.
+    const int mem_pid = events.max_rank() + 1;
+    bool named = false;
+    for (const MemTimelinePoint& p : mem->timeline()) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"" << json_escaped(p.label)
+         << "\",\"ph\":\"C\",\"pid\":" << mem_pid << ",\"tid\":0,\"ts\":"
+         << json_number(p.t * 1e6) << ",\"args\":{\"bytes\":"
+         << p.current_bytes << "}}";
+      named = true;
+    }
+    if (named) {
+      os << (first ? "" : ",")
+         << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << mem_pid
+         << ",\"tid\":0,\"args\":{\"name\":\"memory\"}}";
+      first = false;
+    }
+  }
+  os << "]}";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const sim::EventLog& events,
+                             const MemLedger* mem) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("chrome_trace: cannot write " + path);
+  write_chrome_trace(out, events, mem);
+}
+
+}  // namespace mclx::obs

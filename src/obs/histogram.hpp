@@ -93,6 +93,20 @@ class Histogram {
   static double bucket_lo(int e) { return std::ldexp(1.0, e - 1); }
   static double bucket_hi(int e) { return std::ldexp(1.0, e); }
 
+  /// Fold another histogram into this one. Buckets add; min/max/sum and
+  /// counts combine as if every value had been recorded here. Used to
+  /// move privately accumulated distributions (e.g. the MemLedger's
+  /// per-charge sizes, built under its own mutex) into a registry.
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    count_ += other.count_;
+    nonpositive_ += other.nonpositive_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    for (const auto& [e, c] : other.buckets_) buckets_[e] += c;
+  }
+
   /// Positive-value buckets, exponent -> count (ordered; for tests and
   /// ad-hoc dumps). The underflow bucket is `nonpositive()`.
   const std::map<int, std::uint64_t>& buckets() const { return buckets_; }

@@ -34,6 +34,15 @@ void MetricsRegistry::record(std::string_view name, double value) {
   it->second.record(value);
 }
 
+void MetricsRegistry::merge_histogram(std::string_view name,
+                                      const Histogram& h) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.merge(h);
+}
+
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;

@@ -65,6 +65,10 @@ class MetricsRegistry {
   /// just the mean — merge widths, per-call stage times, payload sizes).
   void record(std::string_view name, double value);
 
+  /// Fold a privately accumulated histogram into histogram `name`
+  /// (see Histogram::merge).
+  void merge_histogram(std::string_view name, const Histogram& h);
+
   /// Counter value; 0 for a counter never bumped.
   std::uint64_t counter(std::string_view name) const;
 

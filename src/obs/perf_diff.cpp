@@ -225,7 +225,8 @@ Direction direction_of(std::string_view path) {
     return Direction::kHigherBetter;
   }
   if (ends_with(path, "_s") || contains_component(path, "idle") ||
-      ends_with(path, "rel_error") || path.rfind("memory.", 0) == 0) {
+      contains_component(path, "rel_error") ||
+      path.rfind("memory.", 0) == 0) {
     return Direction::kLowerBetter;
   }
   return Direction::kNeutral;
@@ -298,6 +299,7 @@ std::string_view verdict_name(Verdict v) {
     case Verdict::kImproved: return "IMPROVED";
     case Verdict::kRegressed: return "REGRESSED";
     case Verdict::kMissing: return "MISSING";
+    case Verdict::kRemoved: return "removed";
     case Verdict::kAdded: return "added";
     case Verdict::kIgnored: return "ignored";
   }
@@ -339,7 +341,9 @@ DiffResult diff_reports(const FlatDoc& baseline, const FlatDoc& candidate,
       d = compare_field(path, *b, *c, opt);
     } else {
       d.path = path;
-      d.verdict = b ? Verdict::kMissing : Verdict::kAdded;
+      d.verdict = b ? (opt.strict_missing ? Verdict::kMissing
+                                          : Verdict::kRemoved)
+                    : Verdict::kAdded;
       d.baseline = b ? render(*b) : "-";
       d.candidate = c ? render(*c) : "-";
     }
@@ -393,8 +397,10 @@ std::string summarize(const DiffResult& d) {
      << " equal, " << d.count(Verdict::kWithinTolerance) << " within-tol, "
      << d.count(Verdict::kImproved) << " improved, "
      << d.count(Verdict::kRegressed) << " regressed, "
-     << d.count(Verdict::kMissing) << " missing, " << d.count(Verdict::kAdded)
-     << " added, " << d.count(Verdict::kIgnored) << " ignored — "
+     << d.count(Verdict::kMissing) << " missing, "
+     << d.count(Verdict::kRemoved) << " removed, "
+     << d.count(Verdict::kAdded) << " added, "
+     << d.count(Verdict::kIgnored) << " ignored — "
      << (d.ok() ? "OK" : "REGRESSED");
   return ss.str();
 }

@@ -47,8 +47,9 @@ enum class Verdict {
   kWithinTolerance,  ///< numeric change within rel_tol
   kImproved,         ///< directional field moved the good way
   kRegressed,        ///< moved the bad way, changed (neutral), or type flip
-  kMissing,          ///< in baseline, absent from candidate (fails)
-  kAdded,            ///< in candidate only (reported, does not fail)
+  kMissing,          ///< in baseline only, strict mode (fails)
+  kRemoved,          ///< in baseline only: removed field, skipped (default)
+  kAdded,            ///< in candidate only: new field, skipped
   kIgnored,          ///< excluded by policy (real_wall_s, --ignore)
 };
 std::string_view verdict_name(Verdict v);
@@ -67,6 +68,11 @@ struct DiffOptions {
   /// absorbs cross-compiler floating-point representation noise.
   double rel_tol = 1e-9;
   bool ignore_real_wall = true;
+  /// Baseline-only fields fail the gate (Verdict::kMissing) instead of
+  /// being reported as removed-and-skipped. Off by default so a schema
+  /// bump that drops fields diffs cleanly against an older baseline —
+  /// the value-level comparison of every shared field still gates.
+  bool strict_missing = false;
   /// Additional ignored path prefixes.
   std::vector<std::string> ignored_prefixes;
 };
@@ -74,7 +80,9 @@ struct DiffOptions {
 struct DiffResult {
   std::vector<FieldDiff> fields;  ///< path order (union of both docs)
   std::size_t count(Verdict v) const;
-  /// Gate verdict: no regressions and nothing missing.
+  /// Gate verdict: no regressions and nothing missing (kMissing only
+  /// arises under DiffOptions::strict_missing; the default maps
+  /// baseline-only fields to the non-failing kRemoved).
   bool ok() const {
     return count(Verdict::kRegressed) == 0 && count(Verdict::kMissing) == 0;
   }

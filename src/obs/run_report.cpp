@@ -10,6 +10,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/mem.hpp"
+
 namespace mclx::obs {
 
 namespace {
@@ -253,6 +255,7 @@ const std::vector<FieldSpec>& run_meta_schema() {
       {"vertices", FieldType::kUInt},
       {"edges", FieldType::kUInt},
       {"threads", FieldType::kUInt},
+      {"vm_hwm_bytes", FieldType::kUInt},
   };
   return schema;
 }
@@ -264,6 +267,7 @@ const std::vector<FieldSpec>& iteration_schema() {
       {"flops", FieldType::kUInt},
       {"est_unpruned_nnz", FieldType::kDouble},
       {"exact_unpruned_nnz", FieldType::kDouble},
+      {"measured_unpruned_nnz", FieldType::kUInt},
       {"estimator_rel_error", FieldType::kDouble},
       {"used_exact_estimator", FieldType::kBool},
       {"cf", FieldType::kDouble},
@@ -429,6 +433,7 @@ RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
   meta.add("vertices", info.vertices);
   meta.add("edges", info.edges);
   meta.add("threads", info.threads);
+  meta.add("vm_hwm_bytes", read_proc_mem().vm_hwm_bytes);
   report.add(std::move(meta));
 
   for (const auto& it : result.iters) {
@@ -439,13 +444,16 @@ RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
     r.add("flops", it.flops);
     r.add("est_unpruned_nnz", it.est_unpruned_nnz);
     r.add("exact_unpruned_nnz", it.exact_unpruned_nnz);
-    // Relative estimator error needs the exact count; -1 when the run
-    // did not measure it (measure_estimation_error off).
+    r.add("measured_unpruned_nnz", it.measured_unpruned_nnz);
+    // Relative estimator error against the best available actual: the
+    // expansion's measured count (every run) or the uncharged symbolic
+    // count (measure_estimation_error runs); -1 when neither exists.
+    const double actual =
+        it.measured_unpruned_nnz > 0
+            ? static_cast<double>(it.measured_unpruned_nnz)
+            : it.exact_unpruned_nnz;
     const double rel_error =
-        it.exact_unpruned_nnz > 0
-            ? std::abs(it.est_unpruned_nnz - it.exact_unpruned_nnz) /
-                  it.exact_unpruned_nnz
-            : -1.0;
+        actual > 0 ? std::abs(it.est_unpruned_nnz - actual) / actual : -1.0;
     r.add("estimator_rel_error", rel_error);
     r.add("used_exact_estimator", it.used_exact_estimator);
     r.add("cf", it.cf);
@@ -502,6 +510,7 @@ RunReport make_metrics_report(const MetricsRegistry& metrics) {
   meta.add("vertices", std::uint64_t{0});
   meta.add("edges", std::uint64_t{0});
   meta.add("threads", std::uint64_t{1});
+  meta.add("vm_hwm_bytes", read_proc_mem().vm_hwm_bytes);
   report.add(std::move(meta));
   append_metrics(report, metrics);
   return report;

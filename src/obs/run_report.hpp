@@ -33,7 +33,7 @@ namespace mclx::obs {
 
 /// Version 2: observation records gained `stddev`, the `histogram`
 /// record type was added (both PR 3); version 1 was the initial layout.
-inline constexpr std::uint64_t kReportSchemaVersion = 3;
+inline constexpr std::uint64_t kReportSchemaVersion = 4;
 
 /// Stage index -> report field name for the six Fig 1 stages
 /// ("t_local_spgemm_s" … "t_other_s"); the single source of truth shared

@@ -17,6 +17,11 @@ EventLog* event_log() { return g_log; }
 void EventLog::write_chrome_trace(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
+  write_trace_events(os, first);
+  os << "]}";
+}
+
+void EventLog::write_trace_events(std::ostream& os, bool& first) const {
   for (const auto& e : events_) {
     if (!first) os << ',';
     first = false;
@@ -27,9 +32,7 @@ void EventLog::write_chrome_trace(std::ostream& os) const {
        << (e.end - e.start) * 1e6 << "}";
   }
   // Thread name metadata so rows read "rank N cpu/gpu".
-  int max_rank = -1;
-  for (const auto& e : events_) max_rank = std::max(max_rank, e.rank);
-  for (int r = 0; r <= max_rank; ++r) {
+  for (int r = 0; r <= max_rank(); ++r) {
     for (int t = 0; t < 2; ++t) {
       if (!first) os << ',';
       first = false;
@@ -38,7 +41,12 @@ void EventLog::write_chrome_trace(std::ostream& os) const {
          << (t == 0 ? "cpu" : "gpu") << "\"}}";
     }
   }
-  os << "]}";
+}
+
+int EventLog::max_rank() const {
+  int max_rank = -1;
+  for (const auto& e : events_) max_rank = std::max(max_rank, e.rank);
+  return max_rank;
 }
 
 void EventLog::write_chrome_trace_file(const std::string& path) const {

@@ -46,6 +46,16 @@ class EventLog {
   void write_chrome_trace(std::ostream& os) const;
   void write_chrome_trace_file(const std::string& path) const;
 
+  /// Emit just the event list (duration + thread-name metadata events,
+  /// comma-separated, no surrounding array) so callers can splice in
+  /// additional tracks — obs::write_chrome_trace appends the memory
+  /// ledger's counter events. `first` carries comma state across calls.
+  void write_trace_events(std::ostream& os, bool& first) const;
+
+  /// Largest rank mentioned by any event, -1 when empty (combined
+  /// exporters park extra tracks on pids above this).
+  int max_rank() const;
+
  private:
   std::vector<Event> events_;
 };

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "sparse/csc.hpp"
 
 namespace mclx::spgemm {
@@ -60,6 +61,12 @@ class HashAccumulator {
   }
 
   std::size_t size() const { return touched_.size(); }
+
+  /// Bytes held by the probe table itself (the dominant allocation;
+  /// what the memory ledger charges under "spgemm.hash_table").
+  std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(slots_.size()) * sizeof(Slot);
+  }
 
   /// Append (sorted by row) entries into the output arrays.
   void extract_sorted(std::vector<IT>& rowids, std::vector<VT>& vals) {
@@ -119,6 +126,7 @@ sparse::Csc<IT, VT> hash_spgemm(const sparse::Csc<IT, VT>& a,
   table.resize_for(static_cast<std::size_t>(
       std::min<std::uint64_t>(max_col_flops,
                               static_cast<std::uint64_t>(nrows))));
+  obs::MemScope table_mem("spgemm.hash_table", table.capacity_bytes());
 
   std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
   std::vector<IT> rowids;

@@ -105,6 +105,10 @@ sparse::Csc<IT, VT> parallel_hash_spgemm(const sparse::Csc<IT, VT>& a,
     detail::HashAccumulator<IT, VT> table;
     table.resize_for(static_cast<std::size_t>(std::min<std::uint64_t>(
         max_col_flops, static_cast<std::uint64_t>(a.nrows()))));
+    // Ledger charge from the worker thread: the ledger is thread-safe,
+    // and lanes run concurrently, so "spgemm.hash_table" tracks the
+    // combined footprint of all live per-lane tables.
+    obs::MemScope table_mem("spgemm.hash_table", table.capacity_bytes());
 
     std::vector<IT> local_rows;
     std::vector<VT> local_vals;

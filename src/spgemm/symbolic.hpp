@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "sparse/csc.hpp"
 #include "util/parallel.hpp"
 
@@ -44,6 +45,8 @@ std::vector<std::uint64_t> symbolic_nnz_per_col(const sparse::Csc<IT, VT>& a,
                 max_col_flops, static_cast<std::uint64_t>(a.nrows()))),
         16));
     std::vector<IT> slots(cap, IT{-1});
+    obs::MemScope slots_mem("spgemm.symbolic",
+                            static_cast<std::uint64_t>(cap) * sizeof(IT));
     std::vector<std::size_t> touched;
     const std::size_t mask = cap - 1;
 

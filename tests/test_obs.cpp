@@ -4,6 +4,7 @@
 // of --metrics-out / --trace-out on a real run.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <optional>
@@ -141,6 +142,95 @@ TEST(Metrics, HistogramQuantilesBoundedByBuckets) {
   neg.record(-5.0);
   neg.record(-1.0);
   EXPECT_DOUBLE_EQ(neg.p50(), -5.0);
+}
+
+TEST(Metrics, HistogramEdgeCases) {
+  // Empty: every statistic reports 0, no crash.
+  obs::Histogram empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99(), 0.0);
+
+  // Single sample: every quantile is that sample (clamped to min=max).
+  obs::Histogram one;
+  one.record(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(one.p95(), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+
+  // A lone zero lands in the underflow bucket and reports as 0.
+  obs::Histogram zero;
+  zero.record(0.0);
+  EXPECT_EQ(zero.count(), 1u);
+  EXPECT_EQ(zero.nonpositive(), 1u);
+  EXPECT_TRUE(zero.buckets().empty());
+  EXPECT_DOUBLE_EQ(zero.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.p99(), 0.0);
+
+  // Values past any reasonable bucket: DBL_MAX sits in the top log2
+  // bucket (exponent 1024) and quantiles stay finite, clamped to the
+  // observed max rather than the bucket's 2^e upper edge (infinite).
+  EXPECT_EQ(obs::Histogram::bucket_exponent(
+                std::numeric_limits<double>::max()),
+            1024);
+  obs::Histogram sat;
+  sat.record(1.0);
+  sat.record(std::numeric_limits<double>::max());
+  EXPECT_EQ(sat.count(), 2u);
+  EXPECT_TRUE(std::isfinite(sat.p99()));
+  EXPECT_DOUBLE_EQ(sat.p99(), std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(sat.p50(), 1.0);
+}
+
+TEST(Metrics, HistogramQuantilePins) {
+  // Deterministic pins for the percentile fields the perf gate reads.
+  // Nine 1.0s and one 1024.0: ranks 1-9 hit the e=0 bucket (clamped to
+  // min 1.0), rank 10 hits the e=10 bucket (clamped to max 1024.0).
+  obs::Histogram h;
+  for (int i = 0; i < 9; ++i) h.record(1.0);
+  h.record(1024.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 1.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 1024.0);  // rank ceil(9.5)=10
+  EXPECT_DOUBLE_EQ(h.p99(), 1024.0);
+
+  // All-identical series: quantiles pin to the value exactly.
+  obs::Histogram flat;
+  for (int i = 0; i < 10; ++i) flat.record(8.0);
+  EXPECT_DOUBLE_EQ(flat.p50(), 8.0);
+  EXPECT_DOUBLE_EQ(flat.p95(), 8.0);
+  EXPECT_DOUBLE_EQ(flat.p99(), 8.0);
+}
+
+TEST(Metrics, HistogramMergeFoldsCounts) {
+  obs::Histogram a, b;
+  a.record(2.0);
+  a.record(3.0);
+  b.record(100.0);
+  b.record(0.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.nonpositive(), 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 105.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+
+  // Merging an empty histogram changes nothing (min/max stay intact).
+  a.merge(obs::Histogram{});
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+
+  // Registry-side entry point used by MemLedger::publish.
+  obs::MetricsRegistry reg;
+  reg.merge_histogram("memory.charge_bytes", a);
+  reg.merge_histogram("memory.charge_bytes", b);
+  const obs::Histogram* h = reg.histogram("memory.charge_bytes");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 6u);
 }
 
 TEST(Metrics, RegistryRecordFeedsHistograms) {
@@ -313,11 +403,13 @@ TEST(RunReportSchema, OneSchemaValidRecordPerIteration) {
   EXPECT_FALSE(report.records_of("observation").empty());
 }
 
-TEST(RunReportSchema, VersionThreeMetricRecordSchemas) {
+TEST(RunReportSchema, VersionFourMetricRecordSchemas) {
   // Schema v2: observations grew a stddev field and histogram records
-  // joined. v3: run_meta grew the per-rank `threads` field. Pin the
-  // version so a future bump is a conscious act.
-  EXPECT_EQ(obs::kReportSchemaVersion, 3u);
+  // joined. v3: run_meta grew the per-rank `threads` field. v4: run_meta
+  // grew `vm_hwm_bytes` and iterations grew `measured_unpruned_nnz`
+  // (the memory-ledger PR). Pin the version so a future bump is a
+  // conscious act.
+  EXPECT_EQ(obs::kReportSchemaVersion, 4u);
 
   obs::MetricsRegistry reg;
   reg.add("calls", 3);

@@ -177,19 +177,89 @@ TEST(PerfDiff, RealWallIgnoredByDefaultComparableOnRequest) {
   EXPECT_EQ(field(d, "real_wall_s")->verdict, Verdict::kRegressed);
 }
 
-TEST(PerfDiff, MissingFailsAddedDoesNot) {
+TEST(PerfDiff, RemovedAndAddedFieldsAreSkippedByDefault) {
+  // Baseline-only field: reported as removed, does not fail the gate.
   obs::FlatDoc missing = baseline_doc();
   missing.erase("clustering.f1");
   obs::DiffResult d = obs::diff_reports(baseline_doc(), missing);
-  EXPECT_FALSE(d.ok());
-  EXPECT_EQ(field(d, "clustering.f1")->verdict, Verdict::kMissing);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(field(d, "clustering.f1")->verdict, Verdict::kRemoved);
+  EXPECT_EQ(d.count(Verdict::kMissing), 0u);
 
+  // Candidate-only field: reported as added, does not fail.
   obs::FlatDoc added = baseline_doc();
   added["distributions.merge.ways.p99"] = {obs::FlatValue::Kind::kNumber,
                                            8.0, "8.0"};
   d = obs::diff_reports(baseline_doc(), added);
   EXPECT_TRUE(d.ok());
   EXPECT_EQ(d.count(Verdict::kAdded), 1u);
+}
+
+TEST(PerfDiff, StrictMissingFailsOnBaselineOnlyFields) {
+  obs::FlatDoc missing = baseline_doc();
+  missing.erase("clustering.f1");
+  obs::DiffOptions strict;
+  strict.strict_missing = true;
+  const obs::DiffResult d =
+      obs::diff_reports(baseline_doc(), missing, strict);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(field(d, "clustering.f1")->verdict, Verdict::kMissing);
+}
+
+TEST(PerfDiff, SchemaSkewBetweenReportVersionsDiffsCleanly) {
+  // A v3-shaped baseline against a v4-shaped candidate: the candidate
+  // gains ledger-backed memory fields and new distributions, and (for
+  // the sake of the reverse direction) we also drop a baseline field.
+  // Neither side's exclusive fields may fail the gate — only shared
+  // fields gate, and schema_version itself is a neutral field the
+  // baseline regeneration flow keeps in sync.
+  const obs::FlatDoc v3 = obs::flatten_json(R"({
+    "schema_version": 3,
+    "memory": {"merge_peak_elements_max": 5000, "legacy_only_field": 1},
+    "virtual": {"elapsed_s": 100.0}
+  })");
+  const obs::FlatDoc v4 = obs::flatten_json(R"({
+    "schema_version": 3,
+    "memory": {"merge_peak_elements_max": 5000,
+               "peak_merge_resident_bytes_max": 80000,
+               "ledger_charges": 1234},
+    "distributions": {"memory.charge_bytes": {"count": 40, "p95": 4096.0}},
+    "virtual": {"elapsed_s": 100.0}
+  })");
+
+  const obs::DiffResult d = obs::diff_reports(v3, v4);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(field(d, "memory.legacy_only_field")->verdict, Verdict::kRemoved);
+  EXPECT_EQ(field(d, "memory.peak_merge_resident_bytes_max")->verdict,
+            Verdict::kAdded);
+  EXPECT_EQ(field(d, "distributions.memory.charge_bytes.p95")->verdict,
+            Verdict::kAdded);
+  EXPECT_EQ(field(d, "memory.merge_peak_elements_max")->verdict,
+            Verdict::kEqual);
+  const std::string summary = obs::summarize(d);
+  EXPECT_NE(summary.find("removed"), std::string::npos);
+  EXPECT_NE(summary.find("OK"), std::string::npos);
+
+  // Same skew under --strict-missing: the removed field now gates.
+  obs::DiffOptions strict;
+  strict.strict_missing = true;
+  EXPECT_FALSE(obs::diff_reports(v3, v4, strict).ok());
+}
+
+TEST(PerfDiff, RelErrorDistributionFieldsAreLowerBetter) {
+  // contains_component matching: percentile paths under a rel_error
+  // histogram ("distributions.estimate.rel_error.p95") are directional
+  // like the plain mean/max fields.
+  obs::FlatDoc b = obs::flatten_json(
+      R"({"distributions": {"estimate.rel_error": {"p95": 0.10}}})");
+  obs::FlatDoc c = obs::flatten_json(
+      R"({"distributions": {"estimate.rel_error": {"p95": 0.05}}})");
+  EXPECT_EQ(field(obs::diff_reports(b, c),
+                  "distributions.estimate.rel_error.p95")->verdict,
+            Verdict::kImproved);
+  EXPECT_EQ(field(obs::diff_reports(c, b),
+                  "distributions.estimate.rel_error.p95")->verdict,
+            Verdict::kRegressed);
 }
 
 TEST(PerfDiff, TypeFlipAndStringChangeRegress) {
