@@ -4,8 +4,17 @@
 // counters, the cost model's virtual time for the same multiply — so any
 // drift between "what we compute" and "what we charge" is visible in one
 // table.
+// The BM_Planted* pairs benchmark each SIMD-specced loop (accumulate,
+// prune threshold scan, inflate) against its scalar counterpart on the
+// same planted-partition workload — the tentpole's acceptance evidence.
+// Every benchmark also reports bytes/flop so the arithmetic-intensity
+// regime of each kernel (all far into memory-bound territory) is visible
+// next to its wall time.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "gen/planted.hpp"
 #include "gpuk/esc.hpp"
 #include "gpuk/rmerge.hpp"
 #include "sim/costmodel.hpp"
@@ -14,11 +23,13 @@
 #include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
+#include "spgemm/hash_simd.hpp"
 #include "spgemm/heap.hpp"
 #include "spgemm/kernels.hpp"
 #include "spgemm/spa.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/types.hpp"
 
 namespace {
@@ -81,6 +92,14 @@ void run_kernel(benchmark::State& state, spgemm::KernelKind kind,
   state.counters["flops"] = static_cast<double>(flops);
   state.counters["cf"] = cf;
   state.counters["model_us"] = model_time * 1e6;
+  // Arithmetic intensity: bytes streamed through the kernel (both input
+  // operands read, output written, index+value per entry) per flop. All
+  // SpGEMM regimes land well below 1 flop/byte — memory-bound, which is
+  // why the SIMD win comes from probe/layout locality, not FMA width.
+  const double entry_bytes = sizeof(vidx_t) + sizeof(val_t);
+  state.counters["bytes_per_flop"] =
+      static_cast<double>(2 * a.nnz() + out_nnz) * entry_bytes /
+      static_cast<double>(flops);
   state.SetLabel(regime.name);
 }
 
@@ -110,6 +129,22 @@ void BM_CpuHashPar(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(nthreads);
   par::set_threads(0);
 }
+/// The SIMD kernel across the same regimes × thread grid as BM_CpuHashPar.
+/// Its wall-clock edge over BM_CpuHashPar at equal threads is the
+/// measured crossover evidence behind HybridPolicy::min_simd_flops
+/// (docs/KERNELS.md describes the re-measurement protocol).
+void BM_CpuHashSimd(benchmark::State& state) {
+  const auto nthreads = static_cast<int>(state.range(1));
+  par::set_threads(nthreads);
+  spgemm::SimdSpgemmOptions opts;
+  opts.nthreads = nthreads;
+  run_kernel(state, spgemm::KernelKind::kCpuHashSimd,
+             [&opts](const C& a, const C& b) {
+               return spgemm::simd_hash_spgemm(a, b, opts);
+             });
+  state.counters["threads"] = static_cast<double>(nthreads);
+  par::set_threads(0);
+}
 void BM_GpuEsc(benchmark::State& state) {
   run_kernel(state, spgemm::KernelKind::kGpuBhsparse,
              [](const C& a, const C& b) { return gpuk::esc_spgemm(a, b); });
@@ -125,8 +160,180 @@ BENCHMARK(BM_CpuSpa)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CpuHashPar)
     ->ArgsProduct({{0, 1, 2}, {1, 2, 4}})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CpuHashSimd)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GpuEsc)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GpuRmerge)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-SIMD pairs on one planted-partition workload. Each pair runs
+// the identical fixed-lane computation; the scalar side is a plain loop,
+// so the delta is exactly what the vector backend buys. Compare the _Simd
+// rows against their _Scalar partners in a -DMCLX_SIMD_NATIVE=ON build
+// (the acceptance check; on a scalar-only build the pairs tie).
+
+/// Two planted workloads spanning the accumulator's regimes. "family"
+/// (arg 0) keeps the defaults: dense protein families make A² products
+/// collide onto few rows, so accumulates are mostly *hits*. "noise"
+/// (arg 1) shrinks families and raises cross-family noise: products are
+/// mostly distinct rows, so accumulates are mostly *inserts* — the
+/// regime where group probing pays (one vector compare finds the empty
+/// lane that linear probing walks to). Early MCL iterations (cf near 1)
+/// look like "noise"; late, contracted ones like "family".
+C planted_matrix(int workload) {
+  gen::PlantedParams p;
+  p.n = 1200;
+  p.seed = 5;
+  if (workload == 1) {
+    p.mean_family = 6.0;
+    p.max_family = 30;
+    p.p_in = 0.3;
+    p.out_degree = 16.0;
+  }
+  auto g = gen::planted_partition(p);
+  return sparse::csc_from_triples(std::move(g.edges));
+}
+
+const char* workload_name(int workload) {
+  return workload == 1 ? "noise" : "family";
+}
+
+/// Drives `table` through the full product stream of A·A: accumulate
+/// each output column, extract sorted, clear. Exactly the numeric phase
+/// both hash kernels run — no symbolic pass on either side, so the pair
+/// isolates the accumulator itself.
+template <typename Table>
+void planted_accum_loop(benchmark::State& state, const C& a, Table& table) {
+  std::vector<vidx_t> rows;
+  std::vector<val_t> vals;
+  for (auto _ : state) {
+    rows.clear();
+    vals.clear();
+    for (vidx_t j = 0; j < a.ncols(); ++j) {
+      const auto bk = a.col_rows(j);
+      const auto bv = a.col_vals(j);
+      for (std::size_t p = 0; p < bk.size(); ++p) {
+        const auto ar = a.col_rows(bk[p]);
+        const auto av = a.col_vals(bk[p]);
+        for (std::size_t q = 0; q < ar.size(); ++q) {
+          table.accumulate(ar[q], av[q] * bv[p]);
+        }
+      }
+      table.extract_sorted(rows, vals);
+      table.clear_touched();
+    }
+    benchmark::DoNotOptimize(rows.data());
+    benchmark::DoNotOptimize(vals.data());
+  }
+  state.counters["flops"] =
+      static_cast<double>(sparse::spgemm_flops(a, a));
+  // Per intermediate product: read one A entry, touch one table slot.
+  state.counters["bytes_per_flop"] =
+      2.0 * (sizeof(vidx_t) + sizeof(val_t));
+}
+
+void BM_PlantedAccumScalar(benchmark::State& state) {
+  const C a = planted_matrix(static_cast<int>(state.range(0)));
+  state.SetLabel(workload_name(static_cast<int>(state.range(0))));
+  // AoS linear-probing table sized once to the worst column's flops
+  // bound — hash_spgemm's sizing.
+  std::uint64_t max_f = 0;
+  for (vidx_t j = 0; j < a.ncols(); ++j) {
+    std::uint64_t f = 0;
+    for (const vidx_t k : a.col_rows(j)) {
+      f += a.col_rows(k).size();
+    }
+    max_f = std::max(max_f, f);
+  }
+  spgemm::detail::HashAccumulator<vidx_t, val_t> table;
+  table.resize_for(static_cast<std::size_t>(max_f));
+  planted_accum_loop(state, a, table);
+}
+void BM_PlantedAccumSimd(benchmark::State& state) {
+  const C a = planted_matrix(static_cast<int>(state.range(0)));
+  // SoA group-probing table sized to the worst *output* column (the
+  // blocked kernel's estimate-driven sizing; exact counts computed in
+  // setup, outside the timed loop).
+  const auto per_col = spgemm::symbolic_nnz_per_col(a, a);
+  std::uint64_t max_nnz = 0;
+  for (const auto c : per_col) max_nnz = std::max(max_nnz, c);
+  spgemm::detail::SimdHashAccumulator<vidx_t, val_t> table;
+  table.reset_capacity(static_cast<std::size_t>(max_nnz));
+  planted_accum_loop(state, a, table);
+  state.SetLabel(std::string(workload_name(static_cast<int>(state.range(0)))) +
+                 "/" + std::string(simd::backend()));
+}
+
+void BM_PlantedPruneScalar(benchmark::State& state) {
+  const C a = planted_matrix(0);
+  std::vector<char> flags(a.nnz());
+  const double cutoff = 0.1;
+  for (auto _ : state) {
+    std::uint64_t kept = 0;
+    for (std::size_t i = 0; i < a.nnz(); ++i) {
+      flags[i] = std::abs(a.vals()[i]) >= cutoff ? 1 : 0;
+      kept += static_cast<std::uint64_t>(flags[i]);
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  // One compare per entry; read a double, write a flag byte.
+  state.counters["bytes_per_flop"] = sizeof(val_t) + 1.0;
+}
+void BM_PlantedPruneSimd(benchmark::State& state) {
+  const C a = planted_matrix(0);
+  std::vector<char> flags(a.nnz());
+  const double cutoff = 0.1;
+  for (auto _ : state) {
+    auto kept =
+        simd::threshold_flags(a.vals().data(), a.nnz(), cutoff, flags.data());
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["bytes_per_flop"] = sizeof(val_t) + 1.0;
+  state.SetLabel(std::string(simd::backend()));
+}
+
+void BM_PlantedInflateScalar(benchmark::State& state) {
+  const C a = planted_matrix(0);
+  std::vector<val_t> v(a.vals().begin(), a.vals().end());
+  for (auto _ : state) {
+    // Hadamard square, column-spec sum, divide — the scalar sum follows
+    // the same 4-lane spec as simd::sum so both sides compute one bit
+    // pattern.
+    for (auto& x : v) x = x * x;
+    double s[4] = {0, 0, 0, 0};
+    for (std::size_t i = 0; i < v.size(); ++i) s[i % 4] += v[i];
+    const double total = (s[0] + s[1]) + (s[2] + s[3]);
+    for (auto& x : v) x /= total;
+    benchmark::DoNotOptimize(v.data());
+  }
+  // ~3 flops per entry (square, add, divide); value read + written per
+  // pass.
+  state.counters["bytes_per_flop"] = 2.0 * sizeof(val_t) / 3.0;
+}
+void BM_PlantedInflateSimd(benchmark::State& state) {
+  const C a = planted_matrix(0);
+  std::vector<val_t> v(a.vals().begin(), a.vals().end());
+  for (auto _ : state) {
+    simd::hadamard_pow(v.data(), v.size(), 2.0);
+    const double total = simd::sum(v.data(), v.size());
+    simd::div_by(v.data(), v.size(), total);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.counters["bytes_per_flop"] = 2.0 * sizeof(val_t) / 3.0;
+  state.SetLabel(std::string(simd::backend()));
+}
+
+BENCHMARK(BM_PlantedAccumScalar)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlantedAccumSimd)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlantedPruneScalar)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlantedPruneSimd)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlantedInflateScalar)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlantedInflateSimd)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

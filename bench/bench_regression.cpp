@@ -18,7 +18,9 @@
 #include "sparse/convert.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
+#include "spgemm/hash_simd.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 int main(int argc, char** argv) try {
   using namespace mclx;
@@ -204,12 +206,22 @@ int main(int argc, char** argv) try {
     util::WallTimer par_wall;
     const auto c_par = spgemm::parallel_hash_spgemm(a, a, nthreads);
     const double par_s = par_wall.elapsed_s();
+    util::WallTimer simd_wall;
+    const auto c_simd = spgemm::simd_hash_spgemm(a, a);
+    const double simd_s = simd_wall.elapsed_s();
     w.begin_object("real");
     w.field("spgemm_seq_s", seq_s);
     w.field("spgemm_par_s", par_s);
     w.field("spgemm_par_threads", nthreads);
     w.field("spgemm_speedup", par_s > 0 ? seq_s / par_s : 0.0);
     w.field("spgemm_nnz_match", c_seq.nnz() == c_par.nnz());
+    w.field("spgemm_simd_s", simd_s);
+    w.field("spgemm_simd_backend", simd::backend());
+    // The fixed-lane spec's promise, checked on every gate run: the
+    // SIMD kernel's output is bitwise the scalar kernel's.
+    w.field("spgemm_simd_bitmatch", c_simd.colptr() == c_seq.colptr() &&
+                                        c_simd.rowids() == c_seq.rowids() &&
+                                        c_simd.vals() == c_seq.vals());
     w.end_object();
   }
 

@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace mclx::core {
 
@@ -31,10 +33,14 @@ void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
     std::vector<val_t> sums(ncols, 0.0);
     for (int i = 0; i < dim; ++i) {
       const dist::DcscD& b = m.block(i, j);
+      // Per-column segment sums use the fixed 4-lane simd::sum spec —
+      // vectorized where the backend allows, same bits in every build;
+      // cross-block accumulation into sums[c] stays sequential.
       par::parallel_chunks(vidx_t{0}, b.nzc(), [&](vidx_t k0, vidx_t k1, int) {
         for (vidx_t k = k0; k < k1; ++k) {
           const auto c = static_cast<std::size_t>(b.nz_col_id(k));
-          for (const val_t v : b.nz_col_vals(k)) sums[c] += v;
+          const auto vs = b.nz_col_vals(k);
+          sums[c] += simd::sum(vs.data(), vs.size());
         }
       });
       // Local partial-sum pass.
@@ -56,11 +62,12 @@ void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
         for (vidx_t k = k0; k < k1; ++k) {
           const auto c = static_cast<std::size_t>(b.nz_col_id(k));
           if (sums[c] == 0.0) continue;
-          for (vidx_t p = b.cp()[k]; p < b.cp()[k + 1]; ++p) {
-            num[static_cast<std::size_t>(p)] /= sums[c];
-          }
+          const auto p0 = static_cast<std::size_t>(b.cp()[k]);
+          const auto p1 = static_cast<std::size_t>(b.cp()[k + 1]);
+          simd::div_by(num.data() + p0, p1 - p0, sums[c]);
         }
       });
+      obs::count("kernel.simd.inflate_elems", b.nnz());
       sim.rank(m.grid().rank_of(i, j))
           .cpu_run(Stage::kOther, model.inflate(b.nnz()));
     }
@@ -70,14 +77,18 @@ void normalize_grid_columns(dist::DistMat& m, sim::SimState& sim,
 }  // namespace
 
 void distributed_inflate(dist::DistMat& m, double power, sim::SimState& sim) {
-  // Hadamard power: purely local, elementwise — chunked on the pool.
+  // Hadamard power: purely local, elementwise — chunked on the pool and
+  // vectorized per chunk (x·x for the MCL-standard power 2, scalar pow
+  // otherwise; see util/simd.hpp for the numerics note).
   for (int i = 0; i < m.dim(); ++i) {
     for (int j = 0; j < m.dim(); ++j) {
       dist::DcscD& b = m.mutable_block(i, j);
       auto& num = b.num_mutable();
-      par::parallel_for(std::size_t{0}, num.size(), [&](std::size_t p) {
-        num[p] = std::pow(num[p], power);
-      });
+      par::parallel_chunks(std::size_t{0}, num.size(),
+                           [&](std::size_t lo, std::size_t hi, int) {
+                             simd::hadamard_pow(num.data() + lo, hi - lo,
+                                                power);
+                           });
     }
   }
   normalize_grid_columns(m, sim, /*charge_pow=*/true);

@@ -4,11 +4,13 @@
 #include <tuple>
 
 #include "dist/topk.hpp"
+#include "obs/metrics.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace mclx::core {
 
@@ -40,16 +42,19 @@ std::uint64_t cutoff_with_recovery(std::vector<dist::CscD*>& pieces,
     const dist::CscD& piece = *pieces[i];
     keep[i].assign(piece.nnz(), 0);
     processed += piece.nnz();
+    // Vectorized threshold scan per column segment (pure predicate, so
+    // identical flags in every backend); survivors[c] is column-owned.
     par::parallel_chunks(vidx_t{0}, ncols, [&](vidx_t c0, vidx_t c1, int) {
       for (vidx_t c = c0; c < c1; ++c) {
-        for (vidx_t p = piece.colptr()[c]; p < piece.colptr()[c + 1]; ++p) {
-          if (std::abs(piece.vals()[p]) >= cutoff) {
-            keep[i][static_cast<std::size_t>(p)] = 1;
-            ++survivors[static_cast<std::size_t>(c)];
-          }
-        }
+        const auto p0 = static_cast<std::size_t>(piece.colptr()[c]);
+        const auto p1 = static_cast<std::size_t>(piece.colptr()[c + 1]);
+        survivors[static_cast<std::size_t>(c)] +=
+            static_cast<vidx_t>(simd::threshold_flags(
+                piece.vals().data() + p0, p1 - p0, cutoff,
+                keep[i].data() + p0));
       }
     });
+    obs::count("kernel.simd.prune_elems", piece.nnz());
   }
 
   if (recover_num > 0) {

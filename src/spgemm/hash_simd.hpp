@@ -1,0 +1,364 @@
+// SIMD hash SpGEMM — the lane-level variant of the pooled hash kernel,
+// after the vectorized-probing blueprint of Nagasaka et al.
+// (arXiv:1804.01698): the accumulator stores rows and values in separate
+// arrays (SoA) so the probe compares a whole aligned group of four slots
+// per step with one vector compare, and columns are processed in
+// cache-budgeted blocks with the table sized to each block's actual
+// per-column output size — the estimate-driven accumulator-locality pass
+// of arXiv:2507.21253 — instead of the whole share's flops upper bound.
+//
+// Output identity: per output column the sequence of accumulate() calls
+// (and hence the FP addition order per output row) is exactly the scalar
+// kernel's, and extraction sorts by row id, so the result is bitwise
+// equal to hash_spgemm / parallel_hash_spgemm regardless of the probe
+// scheme, the block sizes, the thread count, or whether MCLX_SIMD
+// compiled a vector backend. Only probing and table layout vectorize;
+// the semiring arithmetic is untouched (docs/KERNELS.md).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/hash_parallel.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/parallel.hpp"
+#include "util/simd.hpp"
+
+namespace mclx::spgemm {
+
+namespace detail {
+
+/// Open-addressing row→value accumulator in SoA layout with aligned
+/// group-of-4 probing. Capacity is a power of two ≥ 16, so groups never
+/// wrap and the vector loads stay in bounds. Lookup scans groups in
+/// probe order and lanes in ascending order; because inserts take the
+/// first empty lane in that same order (and there are no deletions), a
+/// present row is always found before an empty lane.
+template <typename IT, typename VT>
+class SimdHashAccumulator {
+ public:
+  static constexpr std::size_t kGroup = 4;
+
+  /// Grow-or-shrink to the exact capacity for `max_entries` (load factor
+  /// ≤ 1/2). Unlike the scalar accumulator this resizes *down* too: the
+  /// column-blocking pass re-targets the table per block so the probe
+  /// working set tracks the block's real output size.
+  void reset_capacity(std::size_t max_entries) {
+    const std::size_t want =
+        std::bit_ceil(std::max<std::size_t>(2 * max_entries, 16));
+    if (want == rows_.size()) return;
+    rows_.assign(want, kEmpty);
+    vals_.assign(want, VT{});
+    mask_ = want - 1;
+  }
+
+  /// Grow-only guard (used per column when the size hint undershot).
+  void ensure_capacity(std::size_t max_entries) {
+    const std::size_t want =
+        std::bit_ceil(std::max<std::size_t>(2 * max_entries, 16));
+    if (want > rows_.size()) reset_capacity(max_entries);
+  }
+
+  void clear_touched() {
+    for (const std::size_t s : touched_) rows_[s] = kEmpty;
+    touched_.clear();
+  }
+
+  void accumulate(IT row, VT val) {
+    std::size_t g = hash(row) & mask_ & ~(kGroup - 1);
+    for (;;) {
+#if defined(MCLX_SIMD_AVX2)
+      if constexpr (sizeof(IT) == 8) {
+        const __m256i slots = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(rows_.data() + g));
+        const int hit = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(slots, _mm256_set1_epi64x(
+                                          static_cast<long long>(row)))));
+        if (hit) {
+          vals_[g + static_cast<std::size_t>(__builtin_ctz(hit))] += val;
+          return;
+        }
+        const int empty = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(slots, _mm256_set1_epi64x(-1))));
+        if (empty) {
+          const std::size_t s = g + static_cast<std::size_t>(
+                                        __builtin_ctz(empty));
+          rows_[s] = row;
+          vals_[s] = val;
+          touched_.push_back(s);
+          return;
+        }
+        g = (g + kGroup) & mask_;
+        continue;
+      }
+#elif defined(MCLX_SIMD_NEON)
+      if constexpr (sizeof(IT) == 8) {
+        const auto* p =
+            reinterpret_cast<const std::uint64_t*>(rows_.data() + g);
+        const uint64x2_t want =
+            vdupq_n_u64(static_cast<std::uint64_t>(row));
+        const uint64x2_t hit01 = vceqq_u64(vld1q_u64(p), want);
+        const uint64x2_t hit23 = vceqq_u64(vld1q_u64(p + 2), want);
+        int hit = (vgetq_lane_u64(hit01, 0) ? 1 : 0) |
+                  (vgetq_lane_u64(hit01, 1) ? 2 : 0) |
+                  (vgetq_lane_u64(hit23, 0) ? 4 : 0) |
+                  (vgetq_lane_u64(hit23, 1) ? 8 : 0);
+        if (hit) {
+          vals_[g + static_cast<std::size_t>(__builtin_ctz(hit))] += val;
+          return;
+        }
+        const uint64x2_t none = vdupq_n_u64(~std::uint64_t{0});
+        const uint64x2_t emp01 = vceqq_u64(vld1q_u64(p), none);
+        const uint64x2_t emp23 = vceqq_u64(vld1q_u64(p + 2), none);
+        int empty = (vgetq_lane_u64(emp01, 0) ? 1 : 0) |
+                    (vgetq_lane_u64(emp01, 1) ? 2 : 0) |
+                    (vgetq_lane_u64(emp23, 0) ? 4 : 0) |
+                    (vgetq_lane_u64(emp23, 1) ? 8 : 0);
+        if (empty) {
+          const std::size_t s = g + static_cast<std::size_t>(
+                                        __builtin_ctz(empty));
+          rows_[s] = row;
+          vals_[s] = val;
+          touched_.push_back(s);
+          return;
+        }
+        g = (g + kGroup) & mask_;
+        continue;
+      }
+#endif
+      // Scalar spec: same group/lane visit order, one slot at a time.
+      for (std::size_t l = 0; l < kGroup; ++l) {
+        const std::size_t s = g + l;
+        if (rows_[s] == row) {
+          vals_[s] += val;
+          return;
+        }
+        if (rows_[s] == kEmpty) {
+          rows_[s] = row;
+          vals_[s] = val;
+          touched_.push_back(s);
+          return;
+        }
+      }
+      g = (g + kGroup) & mask_;
+    }
+  }
+
+  std::size_t size() const { return touched_.size(); }
+
+  std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(rows_.size()) *
+           (sizeof(IT) + sizeof(VT));
+  }
+
+  /// Append (sorted by row) entries into the output arrays.
+  void extract_sorted(std::vector<IT>& rowids, std::vector<VT>& vals) {
+    scratch_.clear();
+    scratch_.reserve(touched_.size());
+    for (const std::size_t s : touched_) {
+      scratch_.push_back({rows_[s], vals_[s]});
+    }
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [row, val] : scratch_) {
+      rowids.push_back(row);
+      vals.push_back(val);
+    }
+  }
+
+ private:
+  static constexpr IT kEmpty = IT{-1};
+  static std::size_t hash(IT row) {
+    auto x = static_cast<std::uint64_t>(row);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  std::vector<IT> rows_;
+  std::vector<VT> vals_;
+  std::vector<std::pair<IT, VT>> scratch_;
+  std::vector<std::size_t> touched_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace detail
+
+/// Tuning knobs for simd_hash_spgemm. The per-column size hints come
+/// from the Cohen estimate when the caller has one (it is audited
+/// against the measured actuals by the `estimate.unpruned_nnz` rel_error
+/// channel, so its safety factor is an informed one); otherwise the
+/// exact symbolic counts — computed anyway for the disjoint output
+/// offsets — drive the sizing directly.
+struct SimdSpgemmOptions {
+  int nthreads = 0;  ///< <= 0 picks the configured pool width
+  /// Estimated nnz per output column (e.g. CohenEstimate::per_col for
+  /// C = A·B). Sizes the accumulator ahead of the exact counts; columns
+  /// where the estimate undershoots grow the table on entry (counted by
+  /// `kernel.simd.est_undersized`).
+  const std::vector<double>* est_per_col = nullptr;
+  double est_safety = 1.5;  ///< headroom multiplier on the estimate
+  /// Per-lane column-block working-set budget (table bytes). Blocks are
+  /// cut so the sum of per-column output bytes stays under this, keeping
+  /// the probe table sized to the block actually in flight.
+  std::size_t block_bytes = 256 * 1024;
+};
+
+/// C = A * B with the SoA group-probing accumulator, flops-balanced
+/// lanes on the shared pool, and cache-budgeted column blocking.
+/// Bitwise equal to hash_spgemm at any thread count and backend.
+template <typename IT, typename VT>
+sparse::Csc<IT, VT> simd_hash_spgemm(const sparse::Csc<IT, VT>& a,
+                                     const sparse::Csc<IT, VT>& b,
+                                     const SimdSpgemmOptions& opts = {}) {
+  if (a.ncols() != b.nrows())
+    throw std::invalid_argument("simd_hash_spgemm: dimension mismatch");
+  int nthreads = opts.nthreads > 0 ? opts.nthreads : par::threads();
+  const IT ncols = b.ncols();
+  nthreads = std::max(1, std::min<int>(nthreads, static_cast<int>(
+                                                     std::max<IT>(ncols, 1))));
+  const std::size_t entry_bytes = sizeof(IT) + sizeof(VT);
+
+  // Exact per-column output sizes: disjoint output offsets for the lanes
+  // and the correctness floor for the accumulator sizing.
+  const auto per_col = symbolic_nnz_per_col(a, b);
+  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  for (IT j = 0; j < ncols; ++j) {
+    colptr[static_cast<std::size_t>(j) + 1] =
+        colptr[static_cast<std::size_t>(j)] +
+        static_cast<IT>(per_col[static_cast<std::size_t>(j)]);
+  }
+  const auto nnz = static_cast<std::size_t>(colptr.back());
+  std::vector<IT> rowids(nnz);
+  std::vector<VT> vals(nnz);
+  if (ncols == 0) {
+    return sparse::Csc<IT, VT>(a.nrows(), ncols, std::move(colptr),
+                               std::move(rowids), std::move(vals));
+  }
+
+  const auto bounds = detail::partition_columns_by_flops(a, b, nthreads);
+
+  // Per-column table-size hint: the (safety-scaled) Cohen estimate when
+  // provided, else the exact count.
+  auto hint = [&](IT j) -> std::size_t {
+    const auto exact =
+        static_cast<std::size_t>(per_col[static_cast<std::size_t>(j)]);
+    if (!opts.est_per_col) return exact;
+    const double est =
+        opts.est_safety * (*opts.est_per_col)[static_cast<std::size_t>(j)];
+    return est > 0 ? static_cast<std::size_t>(est) + 1 : 1;
+  };
+
+  // Per-lane stats, folded into the (not thread-safe) metrics registry
+  // by the calling thread after the join.
+  std::vector<std::uint64_t> lane_peak_bytes(
+      static_cast<std::size_t>(nthreads), 0);
+  std::vector<std::uint64_t> lane_undersized(
+      static_cast<std::size_t>(nthreads), 0);
+  std::vector<std::uint64_t> lane_blocks(static_cast<std::size_t>(nthreads),
+                                         0);
+
+  auto worker = [&](int t, IT j0, IT j1) {
+    detail::SimdHashAccumulator<IT, VT> table;
+    obs::MemScope table_mem("spgemm.hash_table", 0);
+    std::uint64_t charged = 0;
+
+    std::vector<IT> local_rows;
+    std::vector<VT> local_vals;
+    IT blk = j0;
+    while (blk < j1) {
+      // Cut the block: consecutive columns until the summed output bytes
+      // exceed the budget (always at least one column).
+      IT blk_end = blk;
+      std::size_t blk_bytes = 0;
+      std::size_t blk_max_hint = 0;
+      while (blk_end < j1) {
+        const std::size_t h = hint(blk_end);
+        if (blk_end > blk && blk_bytes + h * entry_bytes > opts.block_bytes)
+          break;
+        blk_bytes += h * entry_bytes;
+        blk_max_hint = std::max(blk_max_hint, h);
+        ++blk_end;
+      }
+      table.reset_capacity(blk_max_hint);
+      ++lane_blocks[static_cast<std::size_t>(t)];
+
+      for (IT j = blk; j < blk_end; ++j) {
+        // The exact count is the correctness floor: grow (and count the
+        // undershoot) when the estimate was too small.
+        const auto exact =
+            static_cast<std::size_t>(per_col[static_cast<std::size_t>(j)]);
+        if (2 * exact > table.capacity_bytes() / entry_bytes) {
+          table.ensure_capacity(exact);
+          if (opts.est_per_col) ++lane_undersized[static_cast<std::size_t>(t)];
+        }
+        if (table.capacity_bytes() > charged) {
+          table_mem.add(table.capacity_bytes() - charged);
+          charged = table.capacity_bytes();
+        }
+        lane_peak_bytes[static_cast<std::size_t>(t)] =
+            std::max(lane_peak_bytes[static_cast<std::size_t>(t)],
+                     table.capacity_bytes());
+
+        const auto bk = b.col_rows(j);
+        const auto bv = b.col_vals(j);
+        for (std::size_t p = 0; p < bk.size(); ++p) {
+          const IT k = bk[p];
+          const VT scale = bv[p];
+          const auto ar = a.col_rows(k);
+          const auto av = a.col_vals(k);
+          for (std::size_t q = 0; q < ar.size(); ++q) {
+            table.accumulate(ar[q], av[q] * scale);
+          }
+        }
+        local_rows.clear();
+        local_vals.clear();
+        table.extract_sorted(local_rows, local_vals);
+        table.clear_touched();
+        const auto dst =
+            static_cast<std::size_t>(colptr[static_cast<std::size_t>(j)]);
+        std::copy(local_rows.begin(), local_rows.end(), rowids.begin() + dst);
+        std::copy(local_vals.begin(), local_vals.end(), vals.begin() + dst);
+      }
+      blk = blk_end;
+    }
+  };
+
+  if (nthreads == 1) {
+    worker(0, IT{0}, ncols);
+  } else {
+    par::pool().run(nthreads, [&](int t) {
+      worker(t, bounds[static_cast<std::size_t>(t)],
+             bounds[static_cast<std::size_t>(t) + 1]);
+    });
+  }
+
+  if (obs::metrics()) {
+    obs::count("kernel.simd.spgemm_calls");
+    obs::count(std::string("kernel.simd.backend.") +
+               std::string(simd::backend()));
+    std::uint64_t undersized = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t peak = 0;
+    for (int t = 0; t < nthreads; ++t) {
+      undersized += lane_undersized[static_cast<std::size_t>(t)];
+      blocks += lane_blocks[static_cast<std::size_t>(t)];
+      peak = std::max(peak, lane_peak_bytes[static_cast<std::size_t>(t)]);
+    }
+    if (undersized) obs::count("kernel.simd.est_undersized", undersized);
+    obs::count("kernel.simd.blocks", blocks);
+    obs::observe("kernel.simd.accumulator_bytes", static_cast<double>(peak));
+  }
+
+  return sparse::Csc<IT, VT>(a.nrows(), ncols, std::move(colptr),
+                             std::move(rowids), std::move(vals));
+}
+
+}  // namespace mclx::spgemm

@@ -10,6 +10,8 @@ enum class KernelKind {
   kCpuHeap,         ///< heap column merge — original HipMCL kernel
   kCpuHash,         ///< hash accumulation — §VI's CPU kernel (cpu-hash)
   kCpuHashParallel, ///< hash accumulation on the shared thread pool
+  kCpuHashSimd,     ///< pooled SoA hash kernel with vectorized probing
+                    ///< and estimate-sized column blocking (hash_simd.hpp)
   kCpuSpa,          ///< dense-accumulator reference (testing only)
   kGpuBhsparse,     ///< ESC (expand-sort-compress) on the device
   kGpuNsparse,      ///< device hash tables — wins at large cf
@@ -21,6 +23,7 @@ inline constexpr std::string_view kernel_name(KernelKind k) {
     case KernelKind::kCpuHeap: return "cpu-heap";
     case KernelKind::kCpuHash: return "cpu-hash";
     case KernelKind::kCpuHashParallel: return "cpu-hash-par";
+    case KernelKind::kCpuHashSimd: return "cpu-hash-simd";
     case KernelKind::kCpuSpa: return "cpu-spa";
     case KernelKind::kGpuBhsparse: return "bhsparse";
     case KernelKind::kGpuNsparse: return "nsparse";

@@ -6,6 +6,7 @@
 #include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
+#include "spgemm/hash_simd.hpp"
 #include "spgemm/heap.hpp"
 #include "spgemm/spa.hpp"
 #include "util/log.hpp"
@@ -33,8 +34,11 @@ KernelKind HybridPolicy::select(std::uint64_t flops, double cf_estimate,
                                 bool gpu_available, int pool_threads) const {
   const double cf = cf_estimate > 0 ? cf_estimate : 8.0;  // neutral default
   if (!gpu_available || flops < min_gpu_flops) {
-    if (pool_threads > 1 && flops >= min_parallel_flops)
+    if (pool_threads > 1 && flops >= min_parallel_flops) {
+      if (use_simd && flops >= min_simd_flops)
+        return KernelKind::kCpuHashSimd;
       return KernelKind::kCpuHashParallel;
+    }
     return cf < cpu_cf_threshold ? KernelKind::kCpuHeap
                                  : KernelKind::kCpuHash;
   }
@@ -65,6 +69,9 @@ LocalSpgemmResult LocalMultiplier::run_cpu(KernelKind kind, const CscD& a,
       break;
     case KernelKind::kCpuHashParallel:
       r.c = parallel_hash_spgemm(a, b);
+      break;
+    case KernelKind::kCpuHashSimd:
+      r.c = simd_hash_spgemm(a, b);
       break;
     case KernelKind::kCpuSpa:
       r.c = spa_spgemm(a, b);

@@ -40,6 +40,17 @@ struct HybridPolicy {
   /// pooled cpu-hash-par kernel when the rank has more than one thread;
   /// below it the fork/join overhead outweighs the parallelism.
   std::uint64_t min_parallel_flops = 1'000'000;
+  /// Within the pooled regime, multiplies at or above this many flops
+  /// take the vectorized cpu-hash-simd kernel instead of cpu-hash-par.
+  /// The default equals min_parallel_flops (the SoA/blocked kernel wins
+  /// the whole pooled regime in the micro benches); raise it — or set
+  /// use_simd = false — after re-measuring the crossover with
+  /// bench_micro_kernels (docs/KERNELS.md walks through the protocol).
+  std::uint64_t min_simd_flops = 1'000'000;
+  /// Master switch for hybrid selection of cpu-hash-simd. The kernel is
+  /// always *available* (fixed selection and the scalar-spec fallback
+  /// work in every build); this only controls the policy's preference.
+  bool use_simd = true;
 
   /// `pool_threads` is the rank's thread-pool width (par::threads());
   /// the default of 1 keeps single-threaded callers on the sequential

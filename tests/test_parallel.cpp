@@ -180,10 +180,16 @@ TEST(ThreadPool, CountsRunsAndTasks) {
 // Hybrid-policy integration: the registry can pick the pooled kernel.
 
 TEST(HybridSelection, PoolWidthGatesTheParallelKernel) {
-  const spgemm::HybridPolicy policy;
-  // Above the flops bar with a multi-thread pool: pooled kernel.
+  spgemm::HybridPolicy policy;
+  // Above the flops bar with a multi-thread pool: pooled SIMD kernel
+  // (same fixed-lane results as cpu-hash-par, vectorized probing).
+  EXPECT_EQ(policy.select(2'000'000, 8.0, false, 4),
+            spgemm::KernelKind::kCpuHashSimd);
+  // With SIMD routing disabled the plain pooled kernel is selected.
+  policy.use_simd = false;
   EXPECT_EQ(policy.select(2'000'000, 8.0, false, 4),
             spgemm::KernelKind::kCpuHashParallel);
+  policy.use_simd = true;
   // Single-threaded pool: sequential split, whatever the flops.
   EXPECT_EQ(policy.select(2'000'000, 8.0, false, 1),
             spgemm::KernelKind::kCpuHash);

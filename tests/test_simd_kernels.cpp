@@ -1,0 +1,288 @@
+// SIMD kernel suite: the fixed-lane primitive specs (util/simd.hpp),
+// the SoA group-probing SpGEMM (spgemm/hash_simd.hpp), and the hybrid
+// policy routing. The central contract under test is *bit identity*:
+// every backend (AVX2/NEON/scalar) implements the same fixed-lane
+// algorithm, so results must be bitwise equal whether MCLX_SIMD is ON
+// or OFF and at any thread count. The only tolerance-based test is the
+// documented reassociation bound of simd::sum against a plain
+// sequential sum (docs/PERFORMANCE.md "SIMD and floating point").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "estimate/cohen.hpp"
+#include "gen/planted.hpp"
+#include "obs/metrics.hpp"
+#include "sim/costmodel.hpp"
+#include "sim/machine.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/hash_simd.hpp"
+#include "spgemm/registry.hpp"
+#include "spgemm/spa.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace mclx;
+using C = sparse::Csc<vidx_t, val_t>;
+using spgemm::KernelKind;
+
+struct PoolGuard {
+  ~PoolGuard() { par::set_threads(0); }
+};
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform() * 2 - 1;  // mixed signs
+  return v;
+}
+
+/// The 4-lane strided-sum spec, written independently of util/simd.hpp:
+/// element i feeds lane i%4, lanes fold as (s0+s1)+(s2+s3).
+double spec_sum(const std::vector<double>& v) {
+  double s[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < v.size(); ++i) s[i % 4] += v[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+C random_csc(vidx_t nrows, vidx_t ncols, double density, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  sparse::Triples<vidx_t, val_t> t(nrows, ncols);
+  const auto entries = static_cast<std::uint64_t>(
+      density * static_cast<double>(nrows) * static_cast<double>(ncols));
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    t.push_unchecked(static_cast<vidx_t>(rng.bounded(nrows)),
+                     static_cast<vidx_t>(rng.bounded(ncols)),
+                     rng.uniform() * 2 - 1);
+  }
+  t.sort_and_combine();
+  return sparse::csc_from_triples(std::move(t));
+}
+
+C planted_csc(vidx_t n, std::uint64_t seed) {
+  gen::PlantedParams p;
+  p.n = n;
+  p.seed = seed;
+  auto g = gen::planted_partition(p);
+  return sparse::csc_from_triples(std::move(g.edges));
+}
+
+/// Bitwise structural + numeric equality (EXPECT_EQ on doubles is exact).
+void expect_bitwise_equal(const C& a, const C& b) {
+  ASSERT_EQ(a.nrows(), b.nrows());
+  ASSERT_EQ(a.ncols(), b.ncols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (vidx_t j = 0; j <= a.ncols(); ++j) {
+    ASSERT_EQ(a.colptr()[j], b.colptr()[j]) << "colptr at " << j;
+  }
+  for (std::size_t p = 0; p < a.nnz(); ++p) {
+    ASSERT_EQ(a.rowids()[p], b.rowids()[p]) << "rowid at " << p;
+    ASSERT_EQ(a.vals()[p], b.vals()[p]) << "val at " << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive specs: every backend computes the same fixed-lane algorithm.
+
+TEST(SimdPrimitives, BackendReportsConsistently) {
+  // Whichever backend compiled in, the metadata must agree with itself.
+  if (simd::vectorized()) {
+    EXPECT_NE(simd::backend(), "scalar");
+    EXPECT_GT(simd::hw_lanes(), 1);
+  } else {
+    EXPECT_EQ(simd::backend(), "scalar");
+    EXPECT_EQ(simd::hw_lanes(), 1);
+  }
+}
+
+TEST(SimdPrimitives, SumMatchesFixedLaneSpecBitwise) {
+  // Sweep lengths around the vector-width boundaries so every tail
+  // length 0..7 is exercised.
+  for (const std::size_t n :
+       {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 15u, 16u, 17u, 1000u, 1003u}) {
+    const auto v = random_values(n, 40 + n);
+    EXPECT_EQ(simd::sum(v.data(), v.size()), spec_sum(v)) << "n=" << n;
+  }
+}
+
+TEST(SimdPrimitives, SumReassociationWithinDocumentedBound) {
+  // The 4-lane sum reassociates relative to a sequential sum; the
+  // documented tolerance (docs/PERFORMANCE.md) is n·eps·Σ|v|.
+  const auto v = random_values(10'000, 99);
+  double seq = 0, abs_sum = 0;
+  for (const double x : v) {
+    seq += x;
+    abs_sum += std::abs(x);
+  }
+  const double bound = static_cast<double>(v.size()) *
+                       std::numeric_limits<double>::epsilon() * abs_sum;
+  EXPECT_LE(std::abs(simd::sum(v.data(), v.size()) - seq), bound);
+}
+
+TEST(SimdPrimitives, HadamardPowSquaresExactly) {
+  auto v = random_values(1001, 7);
+  const auto ref = v;
+  simd::hadamard_pow(v.data(), v.size(), 2.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], ref[i] * ref[i]);  // x·x in every backend, not pow
+  }
+}
+
+TEST(SimdPrimitives, HadamardPowGeneralMatchesStdPow) {
+  auto v = random_values(257, 8);
+  for (auto& x : v) x = std::abs(x) + 0.01;  // keep pow real
+  const auto ref = v;
+  simd::hadamard_pow(v.data(), v.size(), 1.7);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], std::pow(ref[i], 1.7));
+  }
+}
+
+TEST(SimdPrimitives, DivByIsExactIeeeDivision) {
+  auto v = random_values(1003, 9);
+  const auto ref = v;
+  simd::div_by(v.data(), v.size(), 3.7);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], ref[i] / 3.7);
+  }
+}
+
+TEST(SimdPrimitives, ThresholdFlagsMatchScalarPredicate) {
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 999u}) {
+    auto v = random_values(n, 100 + n);
+    if (n >= 4) {
+      v[0] = 0.0;   // boundary values
+      v[1] = 0.25;  // exactly the cutoff: kept (>=)
+      v[2] = -0.25;
+      v[3] = -0.0;
+    }
+    std::vector<char> flags(n, 2);  // poisoned, must be overwritten
+    const auto kept = simd::threshold_flags(v.data(), n, 0.25, flags.data());
+    std::uint64_t expect_kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const char want = std::abs(v[i]) >= 0.25 ? 1 : 0;
+      EXPECT_EQ(flags[i], want) << "i=" << i;
+      expect_kept += want;
+    }
+    EXPECT_EQ(kept, expect_kept);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD SpGEMM: bitwise equal to the scalar hash kernel, any thread count.
+
+TEST(SimdSpgemm, BitwiseEqualToScalarHashAcrossThreadCounts) {
+  PoolGuard guard;
+  const C a = random_csc(300, 280, 0.03, 11);
+  const C b = random_csc(280, 260, 0.04, 12);
+  const C ref = spgemm::hash_spgemm(a, b);
+  for (const int threads : {1, 4, 8}) {
+    par::set_threads(threads);
+    expect_bitwise_equal(ref, spgemm::simd_hash_spgemm(a, b));
+  }
+}
+
+TEST(SimdSpgemm, PlantedGraphSquareMatchesHashAndSpa) {
+  PoolGuard guard;
+  par::set_threads(4);
+  const C a = planted_csc(600, 21);
+  const C simd_c = spgemm::simd_hash_spgemm(a, a);
+  expect_bitwise_equal(spgemm::hash_spgemm(a, a), simd_c);
+  const C spa = spgemm::spa_spgemm(a, a);
+  EXPECT_TRUE(sparse::approx_equal(spa, simd_c))
+      << "max rel diff " << sparse::max_rel_diff(spa, simd_c);
+}
+
+TEST(SimdSpgemm, CohenHintSizesTheTableAndUndershootGrows) {
+  PoolGuard guard;
+  par::set_threads(4);
+  const C a = planted_csc(400, 31);
+
+  // Honest hint: the actual Cohen estimate for A·A.
+  const auto est = estimate::cohen_nnz_estimate(a, a, 16, 777);
+  spgemm::SimdSpgemmOptions opts;
+  opts.est_per_col = &est.per_col;
+  expect_bitwise_equal(spgemm::hash_spgemm(a, a),
+                       spgemm::simd_hash_spgemm(a, a, opts));
+
+  // Adversarial hint: all-zero estimates undershoot every column; the
+  // exact symbolic floor must grow the table (correctness unchanged)
+  // and the undershoot must be counted.
+  const std::vector<double> zeros(static_cast<std::size_t>(a.ncols()), 0.0);
+  opts.est_per_col = &zeros;
+  obs::MetricsRegistry reg;
+  obs::ScopedMetrics scoped(reg);
+  expect_bitwise_equal(spgemm::hash_spgemm(a, a),
+                       spgemm::simd_hash_spgemm(a, a, opts));
+  EXPECT_GT(reg.counter("kernel.simd.est_undersized"), 0u);
+  EXPECT_GT(reg.counter("kernel.simd.blocks"), 0u);
+  EXPECT_EQ(reg.counter("kernel.simd.spgemm_calls"), 1u);
+}
+
+TEST(SimdSpgemm, TinyBlockBudgetStillBitwiseEqual) {
+  PoolGuard guard;
+  par::set_threads(4);
+  const C a = random_csc(250, 250, 0.05, 41);
+  spgemm::SimdSpgemmOptions opts;
+  opts.block_bytes = 64;  // forces ~one column per block
+  obs::MetricsRegistry reg;
+  obs::ScopedMetrics scoped(reg);
+  expect_bitwise_equal(spgemm::hash_spgemm(a, a),
+                       spgemm::simd_hash_spgemm(a, a, opts));
+  // With a 64-byte budget nearly every column is its own block.
+  EXPECT_GT(reg.counter("kernel.simd.blocks"),
+            static_cast<std::uint64_t>(a.ncols()) / 2);
+}
+
+TEST(SimdSpgemm, DegenerateShapes) {
+  const C empty(0, 0, {0}, {}, {});
+  const C r = spgemm::simd_hash_spgemm(empty, empty);
+  EXPECT_EQ(r.nnz(), 0u);
+  const C tall = random_csc(64, 1, 0.5, 51);
+  const C wide = random_csc(1, 64, 0.5, 52);
+  expect_bitwise_equal(spgemm::hash_spgemm(tall, wide),
+                       spgemm::simd_hash_spgemm(tall, wide));
+}
+
+// ---------------------------------------------------------------------------
+// Registry routing and the LocalMultiplier end-to-end path.
+
+TEST(SimdRegistry, HybridPolicyRoutesByPoolWidth) {
+  const spgemm::HybridPolicy policy;
+  // 1 thread: sequential kernel regardless of flops.
+  EXPECT_EQ(policy.select(5'000'000, 8.0, false, 1), KernelKind::kCpuHash);
+  // 4 and 8 threads above both bars: the SIMD kernel.
+  EXPECT_EQ(policy.select(5'000'000, 8.0, false, 4),
+            KernelKind::kCpuHashSimd);
+  EXPECT_EQ(policy.select(5'000'000, 8.0, false, 8),
+            KernelKind::kCpuHashSimd);
+  // Between the parallel bar and a raised SIMD bar: plain pooled kernel.
+  spgemm::HybridPolicy raised;
+  raised.min_simd_flops = 10'000'000;
+  EXPECT_EQ(raised.select(5'000'000, 8.0, false, 4),
+            KernelKind::kCpuHashParallel);
+}
+
+TEST(SimdRegistry, LocalMultiplierRunsTheSimdKernel) {
+  PoolGuard guard;
+  par::set_threads(4);
+  const sim::CostModel model(sim::summit_like(4));
+  spgemm::LocalMultiplier mult(
+      model, spgemm::KernelPolicy::fixed_kernel(KernelKind::kCpuHashSimd));
+  const C a = planted_csc(300, 61);
+  const auto r = mult.multiply(a, a);
+  EXPECT_EQ(r.used, KernelKind::kCpuHashSimd);
+  expect_bitwise_equal(spgemm::hash_spgemm(a, a), r.c);
+  EXPECT_GT(r.flops, 0u);
+}
+
+}  // namespace
