@@ -19,6 +19,7 @@
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
 #include "spgemm/hash_simd.hpp"
+#include "svc/scheduler.hpp"
 #include "util/parallel.hpp"
 #include "util/simd.hpp"
 
@@ -91,8 +92,10 @@ int main(int argc, char** argv) try {
   // wall times — machine-dependent, ignored by the gate like
   // real_wall_s). Version 4: ledger-backed memory.peak_* byte fields
   // and the estimator-audit distributions (estimate.rel_error,
-  // memory.charge_bytes).
-  w.field("schema_version", std::uint64_t{4});
+  // memory.charge_bytes). Version 5: the gated `svc` saturation block
+  // (deterministic virtual latencies at a fixed lane share) and the
+  // real.svc_* wall-clock throughput fields.
+  w.field("schema_version", std::uint64_t{5});
   w.field("bench", "bench_regression");
 
   w.begin_object("workload");
@@ -193,6 +196,70 @@ int main(int argc, char** argv) try {
   }
   w.end_array();
 
+  // Service saturation: six seeded jobs through an svc::Scheduler at two
+  // concurrent runners over the fixed 4-lane pool (docs/SERVICE.md). The
+  // per-job share is a fixed function of the options, so the per-job
+  // virtual latencies — and their obs::Histogram percentiles — are
+  // deterministic and gate-able; wall-clock throughput (jobs/sec) and
+  // the wait/run percentiles are machine-dependent and land in the
+  // gate-ignored "real" block below.
+  const int svc_jobs = 6;
+  svc::SchedulerOptions svc_options;
+  svc_options.max_concurrent = 2;
+  svc_options.pool_lanes = nthreads;
+  obs::MetricsRegistry svc_registry;
+  std::vector<svc::JobOutcome> svc_outcomes;
+  int svc_lane_share = 0;
+  util::WallTimer svc_wall;
+  {
+    svc::Scheduler scheduler(svc_options);
+    svc_lane_share = scheduler.lane_share();
+    for (int j = 0; j < svc_jobs; ++j) {
+      gen::PlantedParams sp;
+      sp.n = vertices / 2;
+      sp.seed = 100 + static_cast<std::uint64_t>(j);
+      svc::JobSpec spec;
+      spec.id = "sat-" + std::to_string(j);
+      spec.workload = "planted:" + std::to_string(sp.n);
+      spec.config_name = "optimized";
+      spec.graph = gen::planted_partition(sp).edges;
+      spec.nodes = nodes;
+      spec.params = bench::standard_params(40);
+      spec.config = core::HipMclConfig::optimized();
+      scheduler.submit(std::move(spec));
+    }
+    svc_outcomes = scheduler.drain();
+    svc_registry = scheduler.metrics_snapshot();
+  }
+  const double svc_wall_s = svc_wall.elapsed_s();
+
+  std::uint64_t svc_clusters = 0;
+  std::uint64_t svc_iterations = 0;
+  double svc_virtual_sum = 0;
+  bool svc_all_done = true;
+  for (const auto& o : svc_outcomes) {
+    svc_clusters += static_cast<std::uint64_t>(o.num_clusters);
+    svc_iterations += static_cast<std::uint64_t>(o.iterations);
+    svc_virtual_sum += o.virtual_elapsed_s;
+    svc_all_done = svc_all_done && o.state == svc::JobState::kDone;
+  }
+  const obs::Histogram* svc_virtual =
+      svc_registry.histogram("svc.job.virtual_s");
+
+  w.begin_object("svc");
+  w.field("jobs", static_cast<std::uint64_t>(svc_jobs));
+  w.field("completed", svc_registry.counter("svc.jobs.completed"));
+  w.field("all_done", svc_all_done);
+  w.field("max_concurrent", svc_options.max_concurrent);
+  w.field("lane_share", svc_lane_share);
+  w.field("iterations", svc_iterations);
+  w.field("clusters_total", svc_clusters);
+  w.field("virtual_elapsed_sum_s", svc_virtual_sum);
+  w.field("virtual_latency_p50_s", svc_virtual ? svc_virtual->p50() : 0.0);
+  w.field("virtual_latency_p95_s", svc_virtual ? svc_virtual->p95() : 0.0);
+  w.field("virtual_latency_max_s", svc_virtual ? svc_virtual->max() : 0.0);
+  w.end_object();
+
   // Genuine multicore measurement on the gate's host: the sequential
   // hash kernel vs the pooled kernel on A*A of the workload graph.
   // Machine-dependent by nature (like real_wall_s) — recorded for the
@@ -222,6 +289,16 @@ int main(int argc, char** argv) try {
     w.field("spgemm_simd_bitmatch", c_simd.colptr() == c_seq.colptr() &&
                                         c_simd.rowids() == c_seq.rowids() &&
                                         c_simd.vals() == c_seq.vals());
+    // Saturation throughput and scheduling latency of the svc block's
+    // six-job run: wall-clock, so machine-dependent like everything
+    // else here.
+    const obs::Histogram* svc_wait = svc_registry.histogram("svc.job.wait_s");
+    const obs::Histogram* svc_run = svc_registry.histogram("svc.job.run_s");
+    w.field("svc_wall_s", svc_wall_s);
+    w.field("svc_jobs_per_s",
+            svc_wall_s > 0 ? static_cast<double>(svc_jobs) / svc_wall_s : 0.0);
+    w.field("svc_wait_p95_s", svc_wait ? svc_wait->p95() : 0.0);
+    w.field("svc_run_p95_s", svc_run ? svc_run->p95() : 0.0);
     w.end_object();
   }
 

@@ -1,0 +1,93 @@
+// hipmcl_serve: clustering-as-a-service front end (docs/SERVICE.md).
+//
+// Reads a job manifest (one clustering request per line, see
+// src/svc/manifest.hpp), submits every job to an mclx::svc::Scheduler
+// running --max-concurrent jobs at once over the shared thread pool,
+// and waits for all of them. Per-job JSONL reports stream while the
+// jobs run (manifest `report=` key, tagged with the job id); the
+// scheduler's own svc.* metrics can be written as a JSONL metrics
+// report with --metrics-out.
+//
+//   ./hipmcl_serve --manifest jobs.manifest
+//                  [--max-concurrent 2] [--out-dir .]
+//                  [--metrics-out svc.jsonl] [--threads 0]
+//
+// Exit code 0 when every job reached done or cancelled; 1 when any job
+// failed (the per-job table shows the error).
+#include <iostream>
+
+#include "mclx.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mclx;
+
+  util::Cli cli(argc, argv);
+  const std::string manifest_path = cli.get("manifest", "",
+      "job manifest file (required)");
+  const int max_concurrent = static_cast<int>(cli.get_int("max-concurrent", 2,
+      "jobs running at once"));
+  const std::string out_dir = cli.get("out-dir", "",
+      "directory for relative report/checkpoint paths");
+  const std::string metrics_out = cli.get("metrics-out", "",
+      "write the scheduler's svc.* metrics as JSONL here");
+  const std::string log_level = cli.get("log", "warn", "debug|info|warn|error");
+  const int nthreads = par::register_threads_flag(cli);
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  cli.finish();
+  util::set_log_level(util::parse_log_level(log_level));
+  if (manifest_path.empty()) {
+    std::cerr << "hipmcl_serve: --manifest is required (see --help)\n";
+    return 1;
+  }
+
+  const std::vector<svc::JobSpec> specs =
+      svc::load_manifest(manifest_path, out_dir);
+  if (specs.empty()) {
+    std::cerr << "hipmcl_serve: no jobs in " << manifest_path << "\n";
+    return 1;
+  }
+
+  svc::SchedulerOptions options;
+  options.max_concurrent = max_concurrent;
+  svc::Scheduler scheduler(options);
+  std::cout << "hipmcl_serve: " << specs.size() << " job"
+            << (specs.size() == 1 ? "" : "s") << ", " << max_concurrent
+            << " concurrent, " << scheduler.lane_share() << " of " << nthreads
+            << " pool lanes per job\n";
+
+  for (svc::JobSpec spec : specs) scheduler.submit(std::move(spec));
+  const std::vector<svc::JobOutcome> outcomes = scheduler.drain();
+
+  util::Table t("jobs");
+  t.header({"job", "state", "iters", "clusters", "virtual s", "wait s",
+            "run s"});
+  bool any_failed = false;
+  for (const auto& o : outcomes) {
+    t.row({o.id, std::string(svc::to_string(o.state)),
+           std::to_string(o.iterations), std::to_string(o.num_clusters),
+           util::Table::fmt(o.virtual_elapsed_s, 1),
+           util::Table::fmt(o.wait_s, 3), util::Table::fmt(o.run_s, 3)});
+    if (o.state == svc::JobState::kFailed) {
+      any_failed = true;
+      std::cerr << "hipmcl_serve: job " << o.id << " failed: " << o.error
+                << "\n";
+    }
+  }
+  std::cout << t.to_string();
+
+  if (!metrics_out.empty()) {
+    const obs::MetricsRegistry registry = scheduler.metrics_snapshot();
+    obs::make_metrics_report(registry).write_jsonl_file(metrics_out);
+    std::cout << "wrote svc metrics to " << metrics_out << "\n";
+  }
+  return any_failed ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "hipmcl_serve: " << e.what() << "\n";
+  return 1;
+}

@@ -102,15 +102,24 @@ MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
   }
 
   MclResult total;
-  HipMclConfig chunk_config = config;
+  HipMclConfig chunk_config = config;  // hooks (should_stop, ...) propagate
   chunk_config.keep_final_matrix = true;
   MclParams chunk_params = params;
   // A resumed matrix is already stochastic with loops; the initializer
   // must not add a second set of self loops.
   chunk_params.add_self_loops = params.add_self_loops && !resumed;
+  // Bitwise continuation: a resumed (or continuing) chunk starts from a
+  // column-stochastic matrix and must not renormalize it, and its
+  // estimator seeds must derive from the global iteration index — with
+  // both in place a chunked/cancelled/resumed run executes the exact
+  // floating-point trajectory of the uninterrupted run, whatever the
+  // chunk boundaries (docs/SERVICE.md "Resume semantics").
+  bool stochastic = resumed;
 
   while (done < params.max_iters) {
     chunk_params.max_iters = std::min(every, params.max_iters - done);
+    chunk_config.start_iteration = done;
+    chunk_config.assume_stochastic = stochastic;
     MclResult chunk =
         run_hipmcl(current, chunk_params, chunk_config, sim);
 
@@ -123,21 +132,22 @@ MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
     total.mean_cpu_idle += chunk.mean_cpu_idle;
     total.mean_gpu_idle += chunk.mean_gpu_idle;
     for (auto& it : chunk.iters) {
-      it.iter = static_cast<int>(total.iters.size()) + 1;
-      total.iters.push_back(it);
+      total.iters.push_back(it);  // it.iter already carries the global index
     }
     total.labels = std::move(chunk.labels);
     total.num_clusters = chunk.num_clusters;
     total.converged = chunk.converged;
+    total.cancelled = chunk.cancelled;
 
     current = chunk.final_matrix->to_triples();
     save_checkpoint(path, {current, done});
     if (config.keep_final_matrix) {
       total.final_matrix = std::move(chunk.final_matrix);
     }
-    if (chunk.converged) break;
+    if (chunk.converged || chunk.cancelled) break;
     // Subsequent chunks continue from a stochastic matrix.
     chunk_params.add_self_loops = false;
+    stochastic = true;
   }
   return total;
 }

@@ -28,7 +28,18 @@ std::optional<Checkpoint> load_checkpoint(const std::string& path);
 /// run_hipmcl with checkpointing: writes `path` every `every` iterations
 /// and, when `path` already holds a checkpoint, resumes from it instead
 /// of starting over. The returned result counts only the iterations this
-/// call executed; `completed_iterations` in the file accumulates.
+/// call executed (their IterationReport::iter fields carry the *global*
+/// index); `completed_iterations` in the file accumulates.
+///
+/// Resume is bitwise: chunks skip renormalization of the already-
+/// stochastic matrix and derive estimator seeds from the global
+/// iteration index, so a cancelled-then-resumed run reproduces the
+/// uninterrupted run's floating-point trajectory exactly — clusters,
+/// nnz counts and chaos values are bit-identical at any chunk boundary
+/// and any thread count (tests/test_svc.cpp pins this).
+///
+/// config.should_stop cancels at the next iteration boundary; the
+/// checkpoint written then lets a later call (same path) resume.
 MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
                                   const MclParams& params,
                                   const HipMclConfig& config,

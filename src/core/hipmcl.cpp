@@ -188,7 +188,7 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     init.sort_and_combine();
   }
   dist::DistMat a = dist::DistMat::from_triples(init, grid);
-  distributed_normalize(a, sim);
+  if (!config.assume_stochastic) distributed_normalize(a, sim);
 
   MclResult result;
   const sim::StageTimes run_before = sim.critical_stage_times();
@@ -197,7 +197,7 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
   double prev_chaos = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < params.max_iters; ++iter) {
     IterationReport rep;
-    rep.iter = iter + 1;
+    rep.iter = config.start_iteration + iter + 1;  // global numbering
     rep.nnz_before = a.nnz();
     const sim::StageTimes iter_before = sim.critical_stage_times();
     const vtime_t iter_elapsed_before = sim.elapsed();
@@ -221,9 +221,14 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
       rep.est_unpruned_nnz = rep.exact_unpruned_nnz;
       charge_symbolic_sweep(a, sim, rep.flops);
     } else {
+      // Seeds derive from the *global* iteration index so a checkpoint-
+      // resumed run (start_iteration > 0) draws the sketches the
+      // uninterrupted run would have drawn.
       const auto est = estimate::cohen_nnz_estimate(
           ga, ga, config.cohen_keys,
-          util::derive_seed(config.seed, static_cast<std::uint64_t>(iter)));
+          util::derive_seed(config.seed,
+                            static_cast<std::uint64_t>(
+                                config.start_iteration + iter)));
       rep.est_unpruned_nnz = est.total;
       charge_cohen(a, sim, config.cohen_keys, config.gpu_estimation);
       if (config.measure_estimation_error) {
@@ -286,6 +291,7 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     rep.elapsed = sim.elapsed() - iter_elapsed_before;
     report_iteration(rep);
     result.iters.push_back(rep);
+    if (config.on_iteration) config.on_iteration(rep);
     util::log_info("mcl iter ", rep.iter, ": nnz=", rep.nnz_after_prune,
                    " chaos=", rep.chaos, " phases=", rep.phases);
 
@@ -293,6 +299,12 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     if (rep.chaos < params.chaos_eps ||
         (rep.chaos == prev_chaos && rep.nnz_after_prune == rep.nnz_before)) {
       result.converged = true;
+      break;
+    }
+    // Cooperative cancellation at the iteration boundary: cheap to poll,
+    // and the matrix is in a checkpointable (stochastic) state here.
+    if (config.should_stop && config.should_stop()) {
+      result.cancelled = true;
       break;
     }
     prev_chaos = rep.chaos;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -44,6 +45,8 @@ enum class EstimatorKind {
   kAdaptive,
 };
 
+struct IterationReport;
+
 struct HipMclConfig {
   spgemm::KernelPolicy kernel = spgemm::KernelPolicy::hybrid_policy();
   bool pipelined = true;
@@ -69,6 +72,27 @@ struct HipMclConfig {
   /// Keep the converged matrix in the result (for alternative
   /// interpretations, e.g. interpret_attractors).
   bool keep_final_matrix = false;
+  /// Global index of the first iteration this call runs (0 for a fresh
+  /// run). Checkpoint resume passes the completed count so per-iteration
+  /// estimator seeds derive from the *global* index — a resumed run draws
+  /// the same Cohen sketches an uninterrupted run would, which is half of
+  /// the bitwise resume contract (docs/SERVICE.md).
+  int start_iteration = 0;
+  /// The input is already column-stochastic (a checkpoint of a running
+  /// iteration): skip the initial normalization. Renormalizing an
+  /// already-stochastic matrix is mathematically a no-op but not bitwise
+  /// (column sums land near 1.0, not at it), so this flag is the other
+  /// half of the bitwise resume contract.
+  bool assume_stochastic = false;
+  /// Cooperative cancellation: polled after every completed iteration;
+  /// returning true stops the run at that iteration boundary with
+  /// MclResult::cancelled set (the iterations already run are reported
+  /// normally). The service layer points this at the job's cancel flag.
+  std::function<bool()> should_stop;
+  /// Progress hook: called after each completed iteration with that
+  /// iteration's report — the svc layer streams these as JSONL records
+  /// while the run is still going. Must not throw.
+  std::function<void(const IterationReport&)> on_iteration;
 
   static HipMclConfig original();
   static HipMclConfig optimized_no_overlap();
@@ -109,6 +133,9 @@ struct MclResult {
   std::optional<dist::DistMat> final_matrix;
   int iterations = 0;
   bool converged = false;
+  /// True when config.should_stop ended the run before convergence or
+  /// the iteration budget; the completed iterations are still reported.
+  bool cancelled = false;
   std::vector<IterationReport> iters;
   sim::StageTimes stage_times{};       ///< whole-run critical per-stage times
   vtime_t elapsed = 0;                 ///< whole-run virtual wall time

@@ -67,5 +67,7 @@
 #include "spgemm/semiring.hpp"
 #include "spgemm/spa.hpp"
 #include "spgemm/symbolic.hpp"
+#include "svc/manifest.hpp"
+#include "svc/scheduler.hpp"
 #include "util/parallel.hpp"
 #include "util/types.hpp"

@@ -19,7 +19,12 @@ namespace mclx::obs {
 
 namespace {
 
-MemLedger* g_ledger = nullptr;
+// Thread-local for the same reason as obs::metrics(): concurrent
+// service jobs each charge their own ledger. Pool worker lanes see the
+// dispatching thread's ledger via par::ThreadPool's sink propagation,
+// so charges from inside parallel regions keep landing where they did
+// when this was one process-global pointer.
+thread_local MemLedger* g_ledger = nullptr;
 
 #if defined(__unix__) || defined(__APPLE__)
 ProcMemSample rusage_fallback() {

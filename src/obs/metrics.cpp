@@ -3,7 +3,12 @@
 namespace mclx::obs {
 
 namespace {
-MetricsRegistry* g_metrics = nullptr;
+// Thread-local, so concurrent service jobs (src/svc) each record into
+// their own registry from their own driver thread. Pool worker lanes
+// inherit the dispatching thread's sink via par::ThreadPool's sink
+// propagation (util/parallel.cpp), which keeps the single-driver
+// behavior indistinguishable from the old process-global pointer.
+thread_local MetricsRegistry* g_metrics = nullptr;
 }
 
 void set_metrics(MetricsRegistry* registry) { g_metrics = registry; }

@@ -182,7 +182,9 @@ class LineParser {
   std::size_t i_ = 0;
 };
 
-void append_metrics(RunReport& report, const MetricsRegistry& metrics) {
+}  // namespace
+
+void append_metrics_records(RunReport& report, const MetricsRegistry& metrics) {
   for (const auto& [name, value] : metrics.counters()) {
     Record r;
     r.type = "counter";
@@ -216,8 +218,6 @@ void append_metrics(RunReport& report, const MetricsRegistry& metrics) {
   }
 }
 
-}  // namespace
-
 const std::array<std::string_view, sim::kNumStages>& stage_field_names() {
   static constexpr std::array<std::string_view, sim::kNumStages> kStageFields =
       {
@@ -248,6 +248,7 @@ const std::vector<FieldSpec>& run_meta_schema() {
   static const std::vector<FieldSpec> schema = {
       {"schema_version", FieldType::kUInt},
       {"workload", FieldType::kString},
+      {"job_id", FieldType::kString},
       {"config", FieldType::kString},
       {"estimator", FieldType::kString},
       {"nodes", FieldType::kUInt},
@@ -383,15 +384,17 @@ std::vector<const Record*> RunReport::records_of(std::string_view type) const {
   return out;
 }
 
-void RunReport::write_jsonl(std::ostream& os) const {
-  for (const auto& r : records_) {
-    os << "{\"type\":\"" << json_escaped(r.type) << '"';
-    for (const auto& [name, value] : r.fields) {
-      os << ",\"" << json_escaped(name) << "\":";
-      write_value(os, value);
-    }
-    os << "}\n";
+void write_record_jsonl(std::ostream& os, const Record& r) {
+  os << "{\"type\":\"" << json_escaped(r.type) << '"';
+  for (const auto& [name, value] : r.fields) {
+    os << ",\"" << json_escaped(name) << "\":";
+    write_value(os, value);
   }
+  os << "}\n";
+}
+
+void RunReport::write_jsonl(std::ostream& os) const {
+  for (const auto& r : records_) write_record_jsonl(os, r);
 }
 
 void RunReport::write_jsonl_file(const std::string& path) const {
@@ -418,14 +421,12 @@ RunReport RunReport::read_jsonl_file(const std::string& path) {
   return read_jsonl(in);
 }
 
-RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
-                          const MetricsRegistry* metrics) {
-  RunReport report;
-
+Record make_run_meta_record(const RunInfo& info) {
   Record meta;
   meta.type = "run_meta";
   meta.add("schema_version", kReportSchemaVersion);
   meta.add("workload", info.workload);
+  meta.add("job_id", info.job_id);
   meta.add("config", info.config);
   meta.add("estimator", info.estimator);
   meta.add("nodes", info.nodes);
@@ -434,53 +435,53 @@ RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
   meta.add("edges", info.edges);
   meta.add("threads", info.threads);
   meta.add("vm_hwm_bytes", read_proc_mem().vm_hwm_bytes);
-  report.add(std::move(meta));
+  return meta;
+}
 
-  for (const auto& it : result.iters) {
-    Record r;
-    r.type = "iteration";
-    r.add("iter", static_cast<std::uint64_t>(it.iter));
-    r.add("nnz_before", it.nnz_before);
-    r.add("flops", it.flops);
-    r.add("est_unpruned_nnz", it.est_unpruned_nnz);
-    r.add("exact_unpruned_nnz", it.exact_unpruned_nnz);
-    r.add("measured_unpruned_nnz", it.measured_unpruned_nnz);
-    // Relative estimator error against the best available actual: the
-    // expansion's measured count (every run) or the uncharged symbolic
-    // count (measure_estimation_error runs); -1 when neither exists.
-    const double actual =
-        it.measured_unpruned_nnz > 0
-            ? static_cast<double>(it.measured_unpruned_nnz)
-            : it.exact_unpruned_nnz;
-    const double rel_error =
-        actual > 0 ? std::abs(it.est_unpruned_nnz - actual) / actual : -1.0;
-    r.add("estimator_rel_error", rel_error);
-    r.add("used_exact_estimator", it.used_exact_estimator);
-    r.add("cf", it.cf);
-    r.add("phases", static_cast<std::uint64_t>(it.phases));
-    r.add("nnz_after_prune", it.nnz_after_prune);
-    r.add("chaos", it.chaos);
-    r.add("elapsed_s", it.elapsed);
-    for (std::size_t s = 0; s < sim::kNumStages; ++s) {
-      r.add(stage_field_names()[s], it.stage_times[s]);
-    }
-    r.add("summa_flops", it.summa.total_flops);
-    r.add("summa_spgemm_s", it.summa.spgemm_time);
-    r.add("summa_bcast_s", it.summa.bcast_time);
-    r.add("summa_merge_s", it.summa.merge_time);
-    r.add("summa_other_s", it.summa.other_time);
-    r.add("summa_overall_s", it.summa.elapsed);
-    r.add("summa_sink_s", it.summa.sink_time);
-    r.add("merge_peak_elements_sum", it.merge_peak_sum);
-    r.add("merge_peak_elements_max", it.merge_peak_max);
-    r.add("cpu_idle_s", it.cpu_idle);
-    r.add("gpu_idle_s", it.gpu_idle);
-    r.add("gpu_fallbacks", static_cast<std::uint64_t>(it.gpu_fallbacks));
-    report.add(std::move(r));
+Record make_iteration_record(const core::IterationReport& it) {
+  Record r;
+  r.type = "iteration";
+  r.add("iter", static_cast<std::uint64_t>(it.iter));
+  r.add("nnz_before", it.nnz_before);
+  r.add("flops", it.flops);
+  r.add("est_unpruned_nnz", it.est_unpruned_nnz);
+  r.add("exact_unpruned_nnz", it.exact_unpruned_nnz);
+  r.add("measured_unpruned_nnz", it.measured_unpruned_nnz);
+  // Relative estimator error against the best available actual: the
+  // expansion's measured count (every run) or the uncharged symbolic
+  // count (measure_estimation_error runs); -1 when neither exists.
+  const double actual =
+      it.measured_unpruned_nnz > 0
+          ? static_cast<double>(it.measured_unpruned_nnz)
+          : it.exact_unpruned_nnz;
+  const double rel_error =
+      actual > 0 ? std::abs(it.est_unpruned_nnz - actual) / actual : -1.0;
+  r.add("estimator_rel_error", rel_error);
+  r.add("used_exact_estimator", it.used_exact_estimator);
+  r.add("cf", it.cf);
+  r.add("phases", static_cast<std::uint64_t>(it.phases));
+  r.add("nnz_after_prune", it.nnz_after_prune);
+  r.add("chaos", it.chaos);
+  r.add("elapsed_s", it.elapsed);
+  for (std::size_t s = 0; s < sim::kNumStages; ++s) {
+    r.add(stage_field_names()[s], it.stage_times[s]);
   }
+  r.add("summa_flops", it.summa.total_flops);
+  r.add("summa_spgemm_s", it.summa.spgemm_time);
+  r.add("summa_bcast_s", it.summa.bcast_time);
+  r.add("summa_merge_s", it.summa.merge_time);
+  r.add("summa_other_s", it.summa.other_time);
+  r.add("summa_overall_s", it.summa.elapsed);
+  r.add("summa_sink_s", it.summa.sink_time);
+  r.add("merge_peak_elements_sum", it.merge_peak_sum);
+  r.add("merge_peak_elements_max", it.merge_peak_max);
+  r.add("cpu_idle_s", it.cpu_idle);
+  r.add("gpu_idle_s", it.gpu_idle);
+  r.add("gpu_fallbacks", static_cast<std::uint64_t>(it.gpu_fallbacks));
+  return r;
+}
 
-  if (metrics) append_metrics(report, *metrics);
-
+Record make_run_summary_record(const core::MclResult& result) {
   Record summary;
   summary.type = "run_summary";
   summary.add("iterations", static_cast<std::uint64_t>(result.iterations));
@@ -492,27 +493,30 @@ RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
   }
   summary.add("cpu_idle_s", result.mean_cpu_idle);
   summary.add("gpu_idle_s", result.mean_gpu_idle);
-  report.add(std::move(summary));
+  return summary;
+}
 
+RunReport make_run_report(const core::MclResult& result, const RunInfo& info,
+                          const MetricsRegistry* metrics) {
+  RunReport report;
+  report.add(make_run_meta_record(info));
+  for (const auto& it : result.iters) report.add(make_iteration_record(it));
+  if (metrics) append_metrics_records(report, *metrics);
+  report.add(make_run_summary_record(result));
   return report;
 }
 
 RunReport make_metrics_report(const MetricsRegistry& metrics) {
   RunReport report;
-  Record meta;
-  meta.type = "run_meta";
-  meta.add("schema_version", kReportSchemaVersion);
-  meta.add("workload", std::string("metrics-only"));
-  meta.add("config", std::string(""));
-  meta.add("estimator", std::string(""));
-  meta.add("nodes", std::uint64_t{0});
-  meta.add("nranks", std::uint64_t{0});
-  meta.add("vertices", std::uint64_t{0});
-  meta.add("edges", std::uint64_t{0});
-  meta.add("threads", std::uint64_t{1});
-  meta.add("vm_hwm_bytes", read_proc_mem().vm_hwm_bytes);
-  report.add(std::move(meta));
-  append_metrics(report, metrics);
+  RunInfo info;
+  info.workload = "metrics-only";
+  info.nodes = 0;
+  info.nranks = 0;
+  info.vertices = 0;
+  info.edges = 0;
+  info.threads = 1;
+  report.add(make_run_meta_record(info));
+  append_metrics_records(report, metrics);
   return report;
 }
 

@@ -33,7 +33,12 @@ namespace mclx::obs {
 
 /// Version 2: observation records gained `stddev`, the `histogram`
 /// record type was added (both PR 3); version 1 was the initial layout.
-inline constexpr std::uint64_t kReportSchemaVersion = 4;
+/// Version 3 added run_meta `threads`; version 4 added run_meta
+/// `vm_hwm_bytes` and iteration `measured_unpruned_nnz`. Version 5 tags
+/// run_meta with `job_id` so per-job streams from the service layer
+/// (docs/SERVICE.md) stay attributable after aggregation ("" for
+/// standalone runs).
+inline constexpr std::uint64_t kReportSchemaVersion = 5;
 
 /// Stage index -> report field name for the six Fig 1 stages
 /// ("t_local_spgemm_s" … "t_other_s"); the single source of truth shared
@@ -112,6 +117,7 @@ class RunReport {
 /// Workload / configuration description for the run_meta record.
 struct RunInfo {
   std::string workload;   ///< dataset or input-file description
+  std::string job_id;     ///< service job id ("" for standalone runs)
   std::string config;     ///< original | no-overlap | optimized | ...
   std::string estimator;  ///< exact | probabilistic | adaptive
   std::uint64_t nodes = 0;
@@ -120,6 +126,21 @@ struct RunInfo {
   std::uint64_t edges = 0;
   std::uint64_t threads = 1;  ///< per-rank pool width (par::threads())
 };
+
+/// Record-level factories, shared by make_run_report and the service
+/// layer's streaming writer (svc::Scheduler emits run_meta immediately,
+/// then one iteration record per completed iteration while the job is
+/// still running, then metrics + run_summary at the end — same records,
+/// same schemas, just incrementally flushed).
+Record make_run_meta_record(const RunInfo& info);
+Record make_iteration_record(const core::IterationReport& it);
+Record make_run_summary_record(const core::MclResult& result);
+/// Counter / observation / histogram records for every metric in the
+/// registry, appended in catalogue order.
+void append_metrics_records(RunReport& report, const MetricsRegistry& metrics);
+/// One JSONL line for a single record ("type" first, trailing newline) —
+/// the streaming writer's unit of output.
+void write_record_jsonl(std::ostream& os, const Record& r);
 
 /// Build the full report for a finished run: run_meta, one iteration
 /// record per MclResult iteration, the registry's counters/observations

@@ -8,7 +8,10 @@
 namespace mclx::sim {
 
 namespace {
-EventLog* g_log = nullptr;
+// Thread-local so concurrent service jobs (src/svc) can trace their own
+// simulated timelines independently; pool lanes inherit the dispatching
+// thread's log via par::ThreadPool's sink propagation.
+thread_local EventLog* g_log = nullptr;
 }
 
 void set_event_log(EventLog* log) { g_log = log; }

@@ -91,10 +91,13 @@ LocalSpgemmResult LocalMultiplier::run_cpu(KernelKind kind, const CscD& a,
 LocalSpgemmResult LocalMultiplier::multiply(const CscD& a, const CscD& b,
                                             double cf_estimate) {
   const std::uint64_t flops = sparse::spgemm_flops(a, b);
+  // Width-aware selection: a fair-share-capped driver (mclx::svc) picks
+  // kernels for the lanes it actually has, not the whole pool.
   const KernelKind kind =
       policy_.fixed ? *policy_.fixed
                     : policy_.hybrid.select(flops, cf_estimate,
-                                            !devices_.empty(), par::threads());
+                                            !devices_.empty(),
+                                            par::effective_lanes());
   report_selection(kind, flops, cf_estimate);
 
   if (!is_gpu_kernel(kind)) return run_cpu(kind, a, b, flops);

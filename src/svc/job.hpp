@@ -1,0 +1,106 @@
+// Clustering-as-a-service job model (docs/SERVICE.md). A JobSpec is one
+// self-contained clustering request: the input graph, the simulated
+// machine it runs on, the MCL parameters/configuration, a scheduling
+// priority, and the optional per-job artifacts (streamed JSONL report,
+// checkpoint file). The svc::Scheduler owns everything else — lane
+// shares, sinks, execution threads — so a spec stays a plain value that
+// a manifest line or an RPC payload can populate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hipmcl.hpp"
+#include "dist/distmat.hpp"
+#include "util/types.hpp"
+
+namespace mclx::svc {
+
+/// One clustering request.
+struct JobSpec {
+  /// Unique job id, used to tag the streamed report's run_meta record
+  /// and to address cancel()/wait(). Empty: the scheduler assigns
+  /// "job-<submit index>".
+  std::string id;
+
+  /// Scheduling priority: higher starts earlier; ties start in submit
+  /// order (docs/SERVICE.md "Scheduling policy").
+  int priority = 0;
+
+  /// The similarity network to cluster.
+  dist::TriplesD graph;
+
+  /// Human-readable input description for the report's run_meta record
+  /// (dataset name, file path).
+  std::string workload;
+
+  /// Configuration name for the report's run_meta record ("optimized",
+  /// "original", ...); purely descriptive — `config` below is what runs.
+  std::string config_name;
+
+  /// Simulated machine: summit_like(nodes), or the CPU-only variant.
+  int nodes = 4;
+  bool cpu_only_machine = false;
+
+  core::MclParams params;
+  core::HipMclConfig config;
+
+  /// When set, the job streams its RunReport here as JSON Lines while
+  /// running: run_meta (tagged with `id`) immediately on start, one
+  /// iteration record per completed iteration, then the job's metrics
+  /// and the run_summary on completion. Same records and schemas as
+  /// obs::make_run_report, just incrementally flushed.
+  std::string report_path;
+
+  /// When set, the job runs through core::run_hipmcl_checkpointed with
+  /// this path: a checkpoint is written every `checkpoint_every`
+  /// iterations (and at a cancel boundary), and a later job with the
+  /// same path resumes bit-identically (docs/SERVICE.md "Cancel and
+  /// resume").
+  std::string checkpoint_path;
+  int checkpoint_every = 5;
+};
+
+/// Job lifecycle (docs/SERVICE.md "Job lifecycle"):
+/// queued -> running -> one of {done, cancelled, failed}; a queued job
+/// that is cancelled goes straight to cancelled without running.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,       ///< ran to convergence or the iteration budget
+  kCancelled,  ///< cancel() took effect (before or during the run)
+  kFailed,     ///< the run threw; see JobOutcome::error
+};
+
+std::string_view to_string(JobState s);
+
+/// Terminal snapshot of one job, returned by wait()/drain().
+struct JobOutcome {
+  std::string id;
+  JobState state = JobState::kQueued;
+  std::string error;  ///< what() of the failure (kFailed only)
+
+  // Clustering result (kDone, and the completed part of kCancelled).
+  std::vector<vidx_t> labels;
+  vidx_t num_clusters = 0;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Whole-run virtual seconds on the job's simulated machine —
+  /// deterministic, so the saturation bench can gate on it.
+  vtime_t virtual_elapsed_s = 0;
+
+  // Real (wall-clock) scheduling measurements — machine-dependent.
+  double wait_s = 0;  ///< submit -> dispatch
+  double run_s = 0;   ///< dispatch -> terminal
+
+  /// Peak tracked bytes from the job's private obs::MemLedger (sum over
+  /// labels at its high-water point).
+  std::uint64_t peak_bytes = 0;
+
+  /// Fair-share lane cap the job ran under.
+  int lanes = 0;
+};
+
+}  // namespace mclx::svc

@@ -1,0 +1,36 @@
+// Job manifests: the file format hipmcl_serve feeds the Scheduler.
+//
+// One job per line, whitespace-separated key=value pairs; '#' starts a
+// comment, blank lines are skipped. Example (docs/SERVICE.md has the
+// full key table):
+//
+//   # id       input                  scheduling      artifacts
+//   id=alpha workload=archaea-mini scale=0.5 priority=2 report=alpha.jsonl
+//   id=beta  workload=net.mtx     nodes=16  checkpoint=beta.ckpt
+//
+// `workload` is either a named generated dataset (gen::make_dataset:
+// "tiny", "archaea-mini", ...) scaled by `scale`, or a Matrix Market
+// file when it ends in ".mtx". Relative report/checkpoint paths are
+// resolved against `artifact_dir`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace mclx::svc {
+
+/// Parse one manifest line (empty result for blank/comment lines is
+/// signalled by the bool). Throws std::invalid_argument on unknown keys
+/// or malformed values — a typo in a manifest must not silently run a
+/// default job.
+bool parse_manifest_line(const std::string& line, JobSpec& out,
+                         const std::string& artifact_dir = "");
+
+/// Load every job from a manifest file, in file order. Throws
+/// std::runtime_error when the file cannot be read.
+std::vector<JobSpec> load_manifest(const std::string& path,
+                                   const std::string& artifact_dir = "");
+
+}  // namespace mclx::svc

@@ -1,0 +1,131 @@
+// mclx::svc::Scheduler — clustering-as-a-service over one shared thread
+// pool (docs/SERVICE.md).
+//
+// The paper's pipeline clusters one network per process; a service
+// clusters many: submit() enqueues independent JobSpecs, `max_concurrent`
+// runner threads dispatch them in priority order, and every running job
+// drives its parallel kernels through the SAME process-wide par::pool().
+// The pool's multi-driver job list (util/parallel.hpp) interleaves their
+// lanes, and each runner holds a par::ScopedLaneCap at its fair share —
+// floor(pool_lanes / max_concurrent), at least 1 — so N concurrent jobs
+// split the machine instead of oversubscribing it. The share is a fixed
+// function of the options, never of instantaneous load: per-job results
+// and virtual-time trajectories stay deterministic (the determinism
+// contract), which is what lets the saturation bench gate on svc.*
+// fields and lets test_svc pin bit-identical cancel/resume.
+//
+// Per-job isolation: each job runs under its own obs::MetricsRegistry,
+// obs::MemLedger and sim::SimState, installed thread-locally on the
+// runner and propagated into pool workers by the pool's sink snapshot —
+// concurrent jobs never share a sink. The scheduler aggregates
+// scheduling-level svc.* metrics (catalogue in docs/OBSERVABILITY.md)
+// into its own registry under the scheduler mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/job.hpp"
+
+namespace mclx::svc {
+
+struct SchedulerOptions {
+  /// Jobs running at once (runner threads). Queued beyond this.
+  int max_concurrent = 2;
+  /// Pool lanes divided among the concurrent jobs; 0 = par::threads().
+  int pool_lanes = 0;
+  /// When true, submitted jobs stay queued until release() — lets a
+  /// caller submit a batch and have priority order decided by the whole
+  /// batch instead of submission timing (tests use this to make
+  /// dispatch order observable).
+  bool hold = false;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {});
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  /// Releases any hold, waits for every submitted job to reach a
+  /// terminal state, then joins the runners.
+  ~Scheduler();
+
+  /// Enqueue a job; returns its id (spec.id, or an assigned one).
+  /// Throws std::invalid_argument on a duplicate id.
+  std::string submit(JobSpec spec);
+
+  /// Request cancellation. A queued job is terminally cancelled at
+  /// once; a running job stops cooperatively at its next iteration
+  /// boundary (core::HipMclConfig::should_stop), writing a resumable
+  /// checkpoint first when configured. Returns false when the id is
+  /// unknown or the job already reached a terminal state.
+  bool cancel(const std::string& id);
+
+  /// Open the gate when options.hold was set (idempotent).
+  void release();
+
+  JobState state(const std::string& id) const;
+
+  /// Block until the job is terminal; returns its outcome.
+  /// Throws std::invalid_argument on an unknown id.
+  JobOutcome wait(const std::string& id);
+
+  /// Block until every job submitted so far is terminal; outcomes in
+  /// submit order.
+  std::vector<JobOutcome> drain();
+
+  /// Jobs queued (not yet dispatched) / currently running.
+  int queue_depth() const;
+  int running() const;
+
+  /// The fixed per-job lane share: max(1, pool_lanes / max_concurrent).
+  int lane_share() const { return lane_share_; }
+
+  /// Scheduling-level svc.* metrics (docs/OBSERVABILITY.md). Snapshot
+  /// under the scheduler mutex — safe to call while jobs run.
+  obs::MetricsRegistry metrics_snapshot() const;
+
+ private:
+  struct Handle {
+    JobSpec spec;
+    int seq = 0;  ///< submit index (priority tiebreak, drain order)
+    JobState state = JobState::kQueued;
+    std::atomic<bool> cancel_requested{false};
+    std::chrono::steady_clock::time_point submitted{};
+    JobOutcome outcome;
+  };
+
+  void runner_loop();
+  /// Highest-priority queued handle (callers hold mu_); null when the
+  /// queue is empty or held.
+  std::shared_ptr<Handle> next_locked();
+  std::shared_ptr<Handle> find_locked(const std::string& id) const;
+  /// Execute `h` on this runner thread (no locks held).
+  void execute(Handle& h);
+
+  SchedulerOptions options_;
+  int lane_share_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_;  ///< queue became serviceable
+  std::condition_variable settled_;   ///< some job reached terminal state
+  std::vector<std::shared_ptr<Handle>> jobs_;  ///< submit order
+  bool held_ = false;
+  bool stop_ = false;
+  int queued_ = 0;
+  int running_ = 0;
+  int next_seq_ = 0;
+  obs::MetricsRegistry svc_metrics_;
+
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace mclx::svc

@@ -1,11 +1,14 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "sim/eventlog.hpp"
 #include "util/cli.hpp"
 
 namespace mclx::par {
@@ -13,6 +16,36 @@ namespace mclx::par {
 namespace {
 
 thread_local bool t_in_region = false;
+thread_local int t_lane_cap = 0;  // 0 = uncapped
+
+/// Installs a job's sink snapshot on the executing worker thread and
+/// restores the worker's previous sinks on destruction, so a worker can
+/// interleave lanes of jobs submitted by different drivers without
+/// cross-charging their observability state.
+class SinkGuard {
+ public:
+  SinkGuard(obs::MetricsRegistry* metrics, obs::MemLedger* ledger,
+            sim::EventLog* events)
+      : prev_metrics_(obs::metrics()),
+        prev_ledger_(obs::mem_ledger()),
+        prev_events_(sim::event_log()) {
+    obs::set_metrics(metrics);
+    obs::set_mem_ledger(ledger);
+    sim::set_event_log(events);
+  }
+  SinkGuard(const SinkGuard&) = delete;
+  SinkGuard& operator=(const SinkGuard&) = delete;
+  ~SinkGuard() {
+    obs::set_metrics(prev_metrics_);
+    obs::set_mem_ledger(prev_ledger_);
+    sim::set_event_log(prev_events_);
+  }
+
+ private:
+  obs::MetricsRegistry* prev_metrics_;
+  obs::MemLedger* prev_ledger_;
+  sim::EventLog* prev_events_;
+};
 
 int hardware_threads() {
   const int n = static_cast<int>(std::thread::hardware_concurrency());
@@ -39,6 +72,19 @@ std::uint64_t now_ns() {
 }  // namespace
 
 bool in_parallel_region() { return t_in_region; }
+
+int lane_cap() { return t_lane_cap; }
+
+int effective_lanes() {
+  const int p = pool().size();
+  return t_lane_cap > 0 && t_lane_cap < p ? t_lane_cap : p;
+}
+
+ScopedLaneCap::ScopedLaneCap(int cap) : previous_(t_lane_cap) {
+  t_lane_cap = cap > 0 ? cap : 0;
+}
+
+ScopedLaneCap::~ScopedLaneCap() { t_lane_cap = previous_; }
 
 ThreadPool::ThreadPool(int nthreads) {
   size_ = nthreads > 0 ? nthreads : hardware_threads();
@@ -68,18 +114,33 @@ void ThreadPool::work(Job& job) {
   }
 }
 
+std::shared_ptr<ThreadPool::Job> ThreadPool::claimable_locked() const {
+  for (const auto& job : active_) {
+    if (job->next.load(std::memory_order_relaxed) < job->lanes) return job;
+  }
+  return nullptr;
+}
+
+int ThreadPool::active_jobs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(active_.size());
+}
+
 void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    wake_.wait(lk, [&] { return stop_ || (job_ && generation_ != seen); });
+    wake_.wait(lk, [&] { return stop_ || claimable_locked() != nullptr; });
     if (stop_) return;
-    seen = generation_;
-    const std::shared_ptr<Job> job = job_;
+    const std::shared_ptr<Job> job = claimable_locked();
     lk.unlock();
-    t_in_region = true;
-    work(*job);
-    t_in_region = false;
+    {
+      // Lanes run under the submitting driver's sinks, not whatever this
+      // worker executed last.
+      SinkGuard sinks(job->metrics, job->ledger, job->events);
+      t_in_region = true;
+      work(*job);
+      t_in_region = false;
+    }
     // Waking the caller must happen after holding the mutex, so its
     // predicate check cannot slip between our done-increment and notify.
     if (job->done.load(std::memory_order_acquire) == job->lanes) {
@@ -110,15 +171,21 @@ void ThreadPool::run(int lanes, const std::function<void(int)>& fn) {
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->lanes = lanes;
+  job->metrics = obs::metrics();
+  job->ledger = obs::mem_ledger();
+  job->events = sim::event_log();
   const std::uint64_t t0 = now_ns();
+  std::size_t active_now = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    job_ = job;
-    ++generation_;
+    active_.push_back(job);
+    active_now = active_.size();
   }
+  obs::observe("pool.active_jobs", static_cast<double>(active_now));
   wake_.notify_all();
 
-  // The caller is a lane-execution thread too.
+  // The caller is a lane-execution thread too — its own sinks are
+  // already installed, so no SinkGuard here.
   t_in_region = true;
   work(*job);
   t_in_region = false;
@@ -128,7 +195,7 @@ void ThreadPool::run(int lanes, const std::function<void(int)>& fn) {
     finished_.wait(lk, [&] {
       return job->done.load(std::memory_order_acquire) == job->lanes;
     });
-    job_.reset();
+    active_.erase(std::find(active_.begin(), active_.end(), job));
   }
 
   // Utilization from the caller only — the obs registry is not

@@ -18,12 +18,26 @@
 // depends on the pool size, so it is reserved for ops that are exact
 // under any grouping (integer sums, min/max). Floating-point sums that
 // must stay bit-identical are stored per-element and folded sequentially.
+//
+// Multi-driver concurrency (the mclx::svc layer, docs/SERVICE.md): run()
+// may be called from several driver threads at once — each call enqueues
+// an independent job and the workers drain every active job's lanes, so
+// N concurrent clustering jobs share one pool instead of oversubscribing
+// the machine with N pools. Each job snapshots the submitting thread's
+// observability sinks (metrics registry, memory ledger, event log) and
+// the workers install that snapshot around each lane they execute, which
+// is what keeps per-job accounting exact when the sinks are thread-local
+// (obs/metrics.cpp). Fair-share lane allocation is cooperative: a driver
+// thread under a ScopedLaneCap plans its parallel constructs over at most
+// that many lanes (see effective_lanes()), leaving the rest of the pool
+// to the other drivers.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -31,6 +45,13 @@
 
 namespace mclx::util {
 class Cli;
+}
+namespace mclx::obs {
+class MetricsRegistry;
+class MemLedger;
+}
+namespace mclx::sim {
+class EventLog;
 }
 
 namespace mclx::par {
@@ -67,7 +88,16 @@ class ThreadPool {
   /// function of the lane index. Blocks until every lane finished.
   /// Nested calls from inside a worker run all lanes inline on that
   /// worker (no deadlock, same results).
+  ///
+  /// Safe to call from several driver threads concurrently: each call is
+  /// an independent job, the workers drain all active jobs (FIFO), and
+  /// the calling thread always participates in its own job — so a run()
+  /// completes even when every worker is busy with other jobs. Worker
+  /// lanes execute under the submitting thread's observability sinks.
   void run(int lanes, const std::function<void(int)>& fn);
+
+  /// Jobs currently dispatched and not yet completed (any driver).
+  int active_jobs() const;
 
   /// Lifetime totals, for tests and the obs counters.
   std::uint64_t runs() const { return runs_.load(std::memory_order_relaxed); }
@@ -80,18 +110,24 @@ class ThreadPool {
     std::atomic<int> next{0};
     std::atomic<int> done{0};
     std::atomic<std::uint64_t> busy_ns{0};
+    // Sink snapshot of the submitting thread, installed around every
+    // lane a worker executes for this job (thread-local sinks).
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::MemLedger* ledger = nullptr;
+    sim::EventLog* events = nullptr;
   };
 
   void worker_loop();
   static void work(Job& job);
+  /// First active job with unclaimed lanes (callers hold mu_).
+  std::shared_ptr<Job> claimable_locked() const;
 
   int size_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable wake_;
   std::condition_variable finished_;
-  std::shared_ptr<Job> job_;        // current job, null when idle
-  std::uint64_t generation_ = 0;    // bumped per run() so workers re-check
+  std::vector<std::shared_ptr<Job>> active_;  // dispatch order (FIFO)
   bool stop_ = false;
   std::atomic<std::uint64_t> runs_{0};
   std::atomic<std::uint64_t> tasks_{0};
@@ -118,6 +154,32 @@ void shutdown();
 /// nested parallel constructs run inline in that case.
 bool in_parallel_region();
 
+/// Per-thread cap on how many pool lanes parallel constructs issued from
+/// this thread may occupy; 0 (the default) means uncapped. Fair-share
+/// scheduling (mclx::svc) gives each concurrent job driver an equal
+/// slice of the pool through this cap. Purely a width limit: results
+/// stay bit-identical under any cap (the determinism contract), only
+/// the chunk count changes.
+int lane_cap();
+
+/// The parallel width constructs issued from this thread actually plan
+/// for: min(pool size, lane cap) — the pool size when uncapped. This is
+/// also what width-aware policies (spgemm kernel selection) consult, so
+/// a capped driver picks kernels for the lanes it really has.
+int effective_lanes();
+
+/// RAII lane cap for the current thread (restores the previous cap).
+class ScopedLaneCap {
+ public:
+  explicit ScopedLaneCap(int cap);
+  ScopedLaneCap(const ScopedLaneCap&) = delete;
+  ScopedLaneCap& operator=(const ScopedLaneCap&) = delete;
+  ~ScopedLaneCap();
+
+ private:
+  int previous_;
+};
+
 /// Registers --threads on `cli` (default 0 = hardware_concurrency),
 /// applies it via set_threads(), and returns the resolved count. The
 /// one-liner every CLI/bench front end uses so the flag, the env var and
@@ -131,14 +193,15 @@ namespace detail {
 void run_chunks(int chunks, const std::function<void(int)>& fn);
 }  // namespace detail
 
-/// How many chunks a range of size n is split into: min(pool size, n),
-/// at least 1. Shared by every helper below so call sites can reproduce
-/// the split (e.g. to allocate per-chunk scratch).
+/// How many chunks a range of size n is split into: min(effective lanes,
+/// n), at least 1 — the effective width honors the calling thread's
+/// fair-share lane cap. Shared by every helper below so call sites can
+/// reproduce the split (e.g. to allocate per-chunk scratch).
 template <typename IT>
 inline int plan_chunks(IT begin, IT end) {
   const auto n = end > begin ? static_cast<std::uint64_t>(end - begin) : 0;
   if (n == 0) return 0;
-  const auto p = static_cast<std::uint64_t>(pool().size());
+  const auto p = static_cast<std::uint64_t>(effective_lanes());
   return static_cast<int>(p < n ? p : n);
 }
 

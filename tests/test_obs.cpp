@@ -407,9 +407,10 @@ TEST(RunReportSchema, VersionFourMetricRecordSchemas) {
   // Schema v2: observations grew a stddev field and histogram records
   // joined. v3: run_meta grew the per-rank `threads` field. v4: run_meta
   // grew `vm_hwm_bytes` and iterations grew `measured_unpruned_nnz`
-  // (the memory-ledger PR). Pin the version so a future bump is a
-  // conscious act.
-  EXPECT_EQ(obs::kReportSchemaVersion, 4u);
+  // (the memory-ledger PR). v5: run_meta grew `job_id` so concurrent
+  // service jobs stay attributable (the svc PR). Pin the version so a
+  // future bump is a conscious act.
+  EXPECT_EQ(obs::kReportSchemaVersion, 5u);
 
   obs::MetricsRegistry reg;
   reg.add("calls", 3);

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/inflate.hpp"
@@ -162,6 +163,75 @@ TEST(ThreadPool, ReentrantAcrossManyRuns) {
         [](std::uint64_t x, std::uint64_t y) { return x + y; });
   }
   EXPECT_EQ(total, 50ull * (999ull * 1000ull / 2));
+}
+
+TEST(ThreadPool, ConcurrentDriversAllComplete) {
+  // The multi-driver contract (mclx::svc): several threads call run()
+  // on the same pool at once; every job's lanes all execute, and the
+  // caller's participation guarantees progress even with every worker
+  // busy elsewhere.
+  PoolGuard guard;
+  par::set_threads(4);
+  auto& p = par::pool();
+  constexpr int kDrivers = 6;
+  constexpr int kLanes = 32;
+  std::vector<std::vector<std::atomic<int>>> hits(kDrivers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kLanes);
+  }
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&p, &hits, d] {
+      for (int round = 0; round < 5; ++round) {
+        p.run(kLanes, [&hits, d](int lane) {
+          hits[static_cast<std::size_t>(d)][static_cast<std::size_t>(lane)]
+              .fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  for (const auto& job : hits) {
+    for (const auto& lane : job) EXPECT_EQ(lane.load(), 5);
+  }
+  EXPECT_EQ(p.active_jobs(), 0);
+}
+
+TEST(ThreadPool, LaneCapBoundsPlannedChunks) {
+  PoolGuard guard;
+  par::set_threads(4);
+  EXPECT_EQ(par::lane_cap(), 0);
+  EXPECT_EQ(par::effective_lanes(), 4);
+  EXPECT_EQ(par::plan_chunks(0, 1000), 4);
+  {
+    par::ScopedLaneCap cap(2);
+    EXPECT_EQ(par::lane_cap(), 2);
+    EXPECT_EQ(par::effective_lanes(), 2);
+    EXPECT_EQ(par::plan_chunks(0, 1000), 2);
+    {
+      par::ScopedLaneCap inner(1);  // nests, restores the outer cap
+      EXPECT_EQ(par::effective_lanes(), 1);
+    }
+    EXPECT_EQ(par::effective_lanes(), 2);
+    // A cap above the pool size does not invent lanes.
+    par::ScopedLaneCap wide(64);
+    EXPECT_EQ(par::effective_lanes(), 4);
+  }
+  EXPECT_EQ(par::lane_cap(), 0);
+  EXPECT_EQ(par::effective_lanes(), 4);
+}
+
+TEST(ThreadPool, CappedResultsBitIdenticalToUncapped) {
+  // The cap only narrows the chunk split; the determinism contract
+  // makes the results invariant (this is what keeps fair-share capped
+  // svc jobs bit-identical to standalone runs).
+  PoolGuard guard;
+  par::set_threads(4);
+  const C a = random_csc(120, 1800, 77);
+  const C b = random_csc(120, 1600, 78);
+  const C uncapped = spgemm::parallel_hash_spgemm(a, b);
+  par::ScopedLaneCap cap(2);
+  EXPECT_EQ(uncapped, spgemm::parallel_hash_spgemm(a, b));
 }
 
 TEST(ThreadPool, CountsRunsAndTasks) {
