@@ -14,6 +14,7 @@
 #include "common.hpp"
 #include "core/quality.hpp"
 #include "gen/planted.hpp"
+#include "obs/expo.hpp"
 #include "obs/json_writer.hpp"
 #include "sparse/convert.hpp"
 #include "spgemm/hash.hpp"
@@ -94,8 +95,10 @@ int main(int argc, char** argv) try {
   // and the estimator-audit distributions (estimate.rel_error,
   // memory.charge_bytes). Version 5: the gated `svc` saturation block
   // (deterministic virtual latencies at a fixed lane share) and the
-  // real.svc_* wall-clock throughput fields.
-  w.field("schema_version", std::uint64_t{5});
+  // real.svc_* wall-clock throughput fields. Version 6: the
+  // real.status_export_* fields (one Prometheus exposition pass over the
+  // populated run registry — the --status-out cost per rewrite).
+  w.field("schema_version", std::uint64_t{6});
   w.field("bench", "bench_regression");
 
   w.begin_object("workload");
@@ -299,6 +302,15 @@ int main(int argc, char** argv) try {
             svc_wall_s > 0 ? static_cast<double>(svc_jobs) / svc_wall_s : 0.0);
     w.field("svc_wait_p95_s", svc_wait ? svc_wait->p95() : 0.0);
     w.field("svc_run_p95_s", svc_run ? svc_run->p95() : 0.0);
+    // One Prometheus exposition pass over the run's populated registry:
+    // the marginal cost hipmcl_serve pays per --status-out rewrite /
+    // /metrics scrape. Wall-clock, gate-ignored; the byte count tracks
+    // document growth as the metric catalogue accretes.
+    util::WallTimer expo_wall;
+    const std::string status_text = obs::prometheus_text(&registry, nullptr);
+    w.field("status_export_s", expo_wall.elapsed_s());
+    w.field("status_export_bytes",
+            static_cast<std::uint64_t>(status_text.size()));
     w.end_object();
   }
 

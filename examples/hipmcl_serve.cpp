@@ -8,22 +8,93 @@
 // scheduler's own svc.* metrics can be written as a JSONL metrics
 // report with --metrics-out.
 //
+// Live observability (docs/OBSERVABILITY.md "Live observability"):
+// --status-out rewrites a Prometheus-text status file atomically every
+// --status-interval-ms while jobs run; --status-port serves the same
+// text at GET /metrics (plus GET /jobs as JSON) on loopback; --watch
+// redraws an in-terminal job table per tick. --watchdog enables the
+// stall watchdog (svc/health.hpp) — report-only unless
+// --watchdog-cancel, which cancels stalled/diverging jobs through the
+// scheduler's cooperative cancel.
+//
 //   ./hipmcl_serve --manifest jobs.manifest
 //                  [--max-concurrent 2] [--out-dir .]
 //                  [--metrics-out svc.jsonl] [--threads 0]
+//                  [--status-out status.prom] [--status-port 0]
+//                  [--status-interval-ms 500] [--status-linger-ms 0]
+//                  [--watch] [--watchdog] [--watchdog-slow-s 10]
+//                  [--watchdog-stall-s 60] [--watchdog-cancel]
 //
 // Exit code 0 when every job reached done or cancelled; 1 when any job
 // failed (the per-job table shows the error).
+#include <chrono>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
 
 #include "mclx.hpp"
+#include "obs/expo.hpp"
+#include "obs/json_writer.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) try {
-  using namespace mclx;
+namespace {
 
+using namespace mclx;
+
+/// The whole status document: scheduler svc.* metrics + live job gauges.
+std::string status_text(svc::Scheduler& scheduler) {
+  const obs::MetricsRegistry registry = scheduler.metrics_snapshot();
+  const std::vector<obs::ProgressSnapshot> jobs = scheduler.board().snapshot();
+  return obs::prometheus_text(&registry, &jobs);
+}
+
+/// GET /jobs: one object per submitted job, submit order.
+std::string jobs_json(svc::Scheduler& scheduler) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_array();
+  for (const auto& j : scheduler.jobs_snapshot()) {
+    w.begin_object(obs::JsonWriter::Style::kCompact);
+    w.field("id", j.id);
+    w.field("state", svc::to_string(j.state));
+    w.field("health", svc::to_string(j.health));
+    w.field("stage", obs::to_string(j.progress.stage));
+    w.field("iteration", j.progress.iteration);
+    w.field("chaos", j.progress.chaos);
+    w.field("live_nnz", j.progress.live_nnz);
+    w.field("ledger_bytes", j.progress.ledger_bytes);
+    w.field("virtual_s", j.progress.virtual_s);
+    w.field("wall_s", j.progress.wall_s);
+    w.end_object();
+  }
+  w.end_array();
+  return os.str();
+}
+
+/// --watch: clear the terminal and redraw the live job table.
+void draw_watch(svc::Scheduler& scheduler) {
+  util::Table t("jobs (live)");
+  t.header({"job", "state", "health", "stage", "iter", "chaos", "nnz",
+            "virt s", "wall s"});
+  for (const auto& j : scheduler.jobs_snapshot()) {
+    t.row({j.id, std::string(svc::to_string(j.state)),
+           std::string(svc::to_string(j.health)),
+           std::string(obs::to_string(j.progress.stage)),
+           std::to_string(j.progress.iteration),
+           util::Table::fmt(j.progress.chaos, 4),
+           std::to_string(j.progress.live_nnz),
+           util::Table::fmt(j.progress.virtual_s, 1),
+           util::Table::fmt(j.progress.wall_s, 1)});
+  }
+  std::cout << "\x1b[H\x1b[2J" << t.to_string() << std::flush;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const std::string manifest_path = cli.get("manifest", "",
       "job manifest file (required)");
@@ -33,6 +104,24 @@ int main(int argc, char** argv) try {
       "directory for relative report/checkpoint paths");
   const std::string metrics_out = cli.get("metrics-out", "",
       "write the scheduler's svc.* metrics as JSONL here");
+  const std::string status_out = cli.get("status-out", "",
+      "rewrite a Prometheus-text status file here while jobs run");
+  const int status_port = static_cast<int>(cli.get_int("status-port", -1,
+      "serve GET /metrics + /jobs on 127.0.0.1:N (0 = ephemeral; -1 = off)"));
+  const int status_interval_ms = static_cast<int>(cli.get_int(
+      "status-interval-ms", 500, "status file / --watch refresh cadence"));
+  const int status_linger_ms = static_cast<int>(cli.get_int(
+      "status-linger-ms", 0, "keep the status endpoints up after the jobs"));
+  const bool watch = cli.get_bool("watch", false,
+      "redraw a live in-terminal job table per refresh");
+  const bool watchdog = cli.get_bool("watchdog", false,
+      "enable the stall watchdog (svc.health.* metrics)");
+  const double watchdog_slow_s = cli.get_double("watchdog-slow-s", 10.0,
+      "seconds without an iteration advance before a job is slow");
+  const double watchdog_stall_s = cli.get_double("watchdog-stall-s", 60.0,
+      "seconds without an iteration advance before a job is stalled");
+  const bool watchdog_cancel = cli.get_bool("watchdog-cancel", false,
+      "auto-cancel stalled/diverging jobs (default: report only)");
   const std::string log_level = cli.get("log", "warn", "debug|info|warn|error");
   const int nthreads = par::register_threads_flag(cli);
   if (cli.help_requested()) {
@@ -55,14 +144,60 @@ int main(int argc, char** argv) try {
 
   svc::SchedulerOptions options;
   options.max_concurrent = max_concurrent;
+  options.watchdog.enabled = watchdog;
+  options.watchdog.slow_after_s = watchdog_slow_s;
+  options.watchdog.stall_after_s = watchdog_stall_s;
+  options.watchdog.auto_cancel = watchdog_cancel;
+  options.watchdog.sample_interval_s =
+      std::max(0.1, status_interval_ms / 1000.0);
   svc::Scheduler scheduler(options);
-  std::cout << "hipmcl_serve: " << specs.size() << " job"
-            << (specs.size() == 1 ? "" : "s") << ", " << max_concurrent
-            << " concurrent, " << scheduler.lane_share() << " of " << nthreads
-            << " pool lanes per job\n";
+  if (!watch) {
+    std::cout << "hipmcl_serve: " << specs.size() << " job"
+              << (specs.size() == 1 ? "" : "s") << ", " << max_concurrent
+              << " concurrent, " << scheduler.lane_share() << " of "
+              << nthreads << " pool lanes per job\n";
+  }
+
+  std::unique_ptr<obs::StatusServer> server;
+  if (status_port >= 0) {
+    obs::StatusServer::Content content;
+    content.metrics_text = [&scheduler] { return status_text(scheduler); };
+    content.jobs_json = [&scheduler] { return jobs_json(scheduler); };
+    server = std::make_unique<obs::StatusServer>(status_port, content);
+    // Flushed: a CI harness backgrounds us and greps this line for the
+    // ephemeral port before the run finishes.
+    std::cout << "hipmcl_serve: status on http://127.0.0.1:" << server->port()
+              << "/metrics" << std::endl;
+  }
 
   for (svc::JobSpec spec : specs) scheduler.submit(std::move(spec));
+
+  // Live loop: refresh the status surfaces until every job settles.
+  // The status file is written before the first wait too, so even a
+  // sub-interval run leaves a scrapable document behind.
+  const auto tick = std::chrono::milliseconds(std::max(10, status_interval_ms));
+  if (!status_out.empty() || watch) {
+    for (;;) {
+      if (!status_out.empty()) {
+        obs::write_file_atomic(status_out, status_text(scheduler));
+      }
+      if (watch) draw_watch(scheduler);
+      if (scheduler.all_settled()) break;
+      std::this_thread::sleep_for(tick);
+    }
+  }
+
   const std::vector<svc::JobOutcome> outcomes = scheduler.drain();
+
+  // Final rewrite so the file reflects the terminal states. One explicit
+  // health sample first: a sub-interval run can settle before the
+  // watchdog thread ever fires, and the svc.health.* families must still
+  // appear in the terminal document.
+  if (watchdog) scheduler.sample_health();
+  if (!status_out.empty()) {
+    obs::write_file_atomic(status_out, status_text(scheduler));
+  }
+  if (watch) draw_watch(scheduler);
 
   util::Table t("jobs");
   t.header({"job", "state", "iters", "clusters", "virtual s", "wait s",
@@ -85,6 +220,11 @@ int main(int argc, char** argv) try {
     const obs::MetricsRegistry registry = scheduler.metrics_snapshot();
     obs::make_metrics_report(registry).write_jsonl_file(metrics_out);
     std::cout << "wrote svc metrics to " << metrics_out << "\n";
+  }
+  if (server && status_linger_ms > 0) {
+    // Leave the endpoints up for a scraper that started late (CI curls
+    // the port after launching us in the background).
+    std::this_thread::sleep_for(std::chrono::milliseconds(status_linger_ms));
   }
   return any_failed ? 1 : 0;
 } catch (const std::exception& e) {

@@ -194,6 +194,10 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
   const sim::StageTimes run_before = sim.critical_stage_times();
   const vtime_t run_elapsed_before = sim.elapsed();
 
+  const auto notify_stage = [&config](obs::RunStage stage) {
+    if (config.on_stage) config.on_stage(stage);
+  };
+
   double prev_chaos = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < params.max_iters; ++iter) {
     IterationReport rep;
@@ -203,6 +207,7 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     const vtime_t iter_elapsed_before = sim.elapsed();
 
     // --- memory-requirement estimation (§V) ---------------------------
+    notify_stage(obs::RunStage::kEstimate);
     const dist::CscD ga = a.to_csc();  // gathered view used for real math
     rep.flops = sparse::spgemm_flops(ga, ga);
 
@@ -251,6 +256,7 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     rep.phases = plan.phases;
 
     // --- expansion (SUMMA) with fused prune -----------------------------
+    notify_stage(obs::RunStage::kExpand);
     dist::SummaOptions opt;
     opt.pipelined = config.pipelined;
     opt.binary_merge = config.binary_merge;
@@ -282,10 +288,12 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     rep.nnz_after_prune = expansion.c.nnz();
 
     // --- inflation -------------------------------------------------------
+    notify_stage(obs::RunStage::kInflate);
     distributed_inflate(expansion.c, params.inflation, sim);
     a = std::move(expansion.c);
 
     // --- convergence -------------------------------------------------------
+    notify_stage(obs::RunStage::kConverge);
     rep.chaos = distributed_chaos(a, sim);
     rep.stage_times = stage_delta(sim, iter_before);
     rep.elapsed = sim.elapsed() - iter_elapsed_before;
@@ -311,6 +319,7 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
   }
 
   // --- interpretation: connected components are the clusters ------------
+  notify_stage(obs::RunStage::kInterpret);
   dist::ComponentsResult cc = dist::connected_components(a, sim);
   result.labels = std::move(cc.labels);
   result.num_clusters = cc.num_components;

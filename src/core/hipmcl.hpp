@@ -19,6 +19,7 @@
 #include "core/prune.hpp"
 #include "dist/distmat.hpp"
 #include "dist/summa.hpp"
+#include "obs/progress.hpp"
 #include "sim/stage.hpp"
 #include "sim/timeline.hpp"
 #include "spgemm/registry.hpp"
@@ -93,6 +94,13 @@ struct HipMclConfig {
   /// iteration's report — the svc layer streams these as JSONL records
   /// while the run is still going. Must not throw.
   std::function<void(const IterationReport&)> on_iteration;
+  /// Stage hook: called when the run enters each coarse stage of an
+  /// iteration (estimate → expand → inflate → converge) and once before
+  /// the final cluster interpretation. Cheaper and finer-grained than
+  /// on_iteration — the svc layer points it at a live progress gauge so
+  /// a long expansion shows as "expand", not as a silent iteration. Must
+  /// not throw; called from the driver thread only.
+  std::function<void(obs::RunStage)> on_stage;
 
   static HipMclConfig original();
   static HipMclConfig optimized_no_overlap();

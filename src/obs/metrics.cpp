@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 namespace mclx::obs {
 
 namespace {
@@ -61,6 +63,36 @@ const Accumulator* MetricsRegistry::accumulator(std::string_view name) const {
 const Histogram* MetricsRegistry::histogram(std::string_view name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + accumulators_.size() + histograms_.size());
+  for (const auto& [name, value] : counters_) out.push_back(name);
+  for (const auto& [name, value] : accumulators_) out.push_back(name);
+  for (const auto& [name, value] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void MetricsRegistry::for_each(
+    const std::function<void(std::string_view, std::uint64_t)>& counter_fn,
+    const std::function<void(std::string_view, const Accumulator&)>&
+        accumulator_fn,
+    const std::function<void(std::string_view, const Histogram&)>&
+        histogram_fn) const {
+  // The maps are already name-sorted; the kind order is part of the
+  // contract (see the header).
+  if (counter_fn) {
+    for (const auto& [name, value] : counters_) counter_fn(name, value);
+  }
+  if (accumulator_fn) {
+    for (const auto& [name, acc] : accumulators_) accumulator_fn(name, acc);
+  }
+  if (histogram_fn) {
+    for (const auto& [name, hist] : histograms_) histogram_fn(name, hist);
+  }
 }
 
 void MetricsRegistry::clear() {

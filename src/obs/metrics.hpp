@@ -12,10 +12,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/histogram.hpp"
 
@@ -87,6 +89,23 @@ class MetricsRegistry {
   const std::map<std::string, Histogram, std::less<>>& histograms() const {
     return histograms_;
   }
+
+  /// Every metric name in the registry — counters, accumulators and
+  /// histograms — sorted and deduplicated (a name recorded as both an
+  /// observation and a histogram appears once). The stable iteration
+  /// surface exporters build on (obs/expo.cpp).
+  std::vector<std::string> names() const;
+
+  /// Visit every metric in sorted-name order, one callback per kind.
+  /// Counters first, then accumulators, then histograms — each group
+  /// internally name-sorted — so output built from it is deterministic
+  /// for a given registry content.
+  void for_each(
+      const std::function<void(std::string_view, std::uint64_t)>& counter_fn,
+      const std::function<void(std::string_view, const Accumulator&)>&
+          accumulator_fn,
+      const std::function<void(std::string_view, const Histogram&)>&
+          histogram_fn) const;
 
   void clear();
   bool empty() const {

@@ -1,0 +1,167 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace mclx::obs {
+
+std::string_view to_string(RunStage s) {
+  switch (s) {
+    case RunStage::kQueued: return "queued";
+    case RunStage::kStarting: return "starting";
+    case RunStage::kEstimate: return "estimate";
+    case RunStage::kExpand: return "expand";
+    case RunStage::kInflate: return "inflate";
+    case RunStage::kConverge: return "converge";
+    case RunStage::kInterpret: return "interpret";
+    case RunStage::kFinished: return "finished";
+  }
+  return "unknown";
+}
+
+// Seqlock writer brackets. The odd store plus the release fence order
+// every relaxed gauge store after the version bump; the closing release
+// store publishes them. Readers that observe an even, unchanged version
+// across their relaxed gauge loads therefore saw one complete update.
+void JobProgress::write_begin() {
+  version_.store(version_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void JobProgress::write_end() {
+  version_.store(version_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+}
+
+void JobProgress::mark_started(double wall_now_s) {
+  write_begin();
+  started_at_s_.store(wall_now_s, std::memory_order_relaxed);
+  started_.store(true, std::memory_order_relaxed);
+  stage_.store(static_cast<int>(RunStage::kStarting),
+               std::memory_order_relaxed);
+  write_end();
+}
+
+void JobProgress::set_stage(RunStage s) {
+  write_begin();
+  stage_.store(static_cast<int>(s), std::memory_order_relaxed);
+  write_end();
+}
+
+void JobProgress::record_iteration(std::uint64_t iteration, double chaos,
+                                   std::uint64_t nnz,
+                                   double virtual_delta_s) {
+  write_begin();
+  iteration_.store(iteration, std::memory_order_relaxed);
+  chaos_.store(chaos, std::memory_order_relaxed);
+  live_nnz_.store(nnz, std::memory_order_relaxed);
+  virtual_s_.store(virtual_s_.load(std::memory_order_relaxed) +
+                       virtual_delta_s,
+                   std::memory_order_relaxed);
+  write_end();
+}
+
+void JobProgress::set_ledger_bytes(std::uint64_t bytes) {
+  write_begin();
+  ledger_bytes_.store(bytes, std::memory_order_relaxed);
+  write_end();
+}
+
+void JobProgress::mark_finished(double wall_now_s) {
+  write_begin();
+  finished_at_s_.store(wall_now_s, std::memory_order_relaxed);
+  finished_.store(true, std::memory_order_relaxed);
+  stage_.store(static_cast<int>(RunStage::kFinished),
+               std::memory_order_relaxed);
+  write_end();
+}
+
+ProgressSnapshot JobProgress::snapshot(double wall_now_s) const {
+  ProgressSnapshot snap;
+  snap.job = id_;
+  for (;;) {
+    const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+    if (v1 & 1) {  // writer mid-update
+      std::this_thread::yield();
+      continue;
+    }
+    snap.iteration = iteration_.load(std::memory_order_relaxed);
+    snap.chaos = chaos_.load(std::memory_order_relaxed);
+    snap.live_nnz = live_nnz_.load(std::memory_order_relaxed);
+    snap.ledger_bytes = ledger_bytes_.load(std::memory_order_relaxed);
+    snap.virtual_s = virtual_s_.load(std::memory_order_relaxed);
+    snap.stage = static_cast<RunStage>(stage_.load(std::memory_order_relaxed));
+    snap.started = started_.load(std::memory_order_relaxed);
+    snap.finished = finished_.load(std::memory_order_relaxed);
+    const double started_at = started_at_s_.load(std::memory_order_relaxed);
+    const double finished_at = finished_at_s_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version_.load(std::memory_order_relaxed) == v1) {
+      const double until = snap.finished ? finished_at : wall_now_s;
+      snap.wall_s = snap.started ? std::max(0.0, until - started_at) : 0.0;
+      return snap;
+    }
+  }
+}
+
+ProgressBoard::ProgressBoard() {
+  const auto epoch = std::chrono::steady_clock::now();
+  clock_ = [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+}
+
+std::shared_ptr<JobProgress> ProgressBoard::add(std::string id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& j : jobs_) {
+    if (j->id() == id) {
+      throw std::invalid_argument("ProgressBoard: duplicate job '" + id + "'");
+    }
+  }
+  jobs_.push_back(std::make_shared<JobProgress>(std::move(id)));
+  return jobs_.back();
+}
+
+std::shared_ptr<JobProgress> ProgressBoard::find(std::string_view id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& j : jobs_) {
+    if (j->id() == id) return j;
+  }
+  return nullptr;
+}
+
+std::vector<ProgressSnapshot> ProgressBoard::snapshot() const {
+  std::vector<std::shared_ptr<JobProgress>> jobs;
+  double now = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    jobs = jobs_;
+    now = clock_();
+  }
+  std::vector<ProgressSnapshot> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) out.push_back(j->snapshot(now));
+  return out;
+}
+
+std::size_t ProgressBoard::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return jobs_.size();
+}
+
+void ProgressBoard::set_clock(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_ = std::move(clock);
+}
+
+double ProgressBoard::now() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return clock_();
+}
+
+}  // namespace mclx::obs

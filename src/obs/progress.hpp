@@ -1,0 +1,139 @@
+// Live per-job progress gauges (docs/OBSERVABILITY.md "Live
+// observability"). The RunReport/metrics stack is a flight recorder —
+// everything becomes readable after drain() returns. A ProgressBoard is
+// the live counterpart: one fixed slot of atomic gauges per job
+// (iteration, run stage, chaos, live nnz, ledger bytes, virtual + wall
+// elapsed), written by the job's runner thread from the
+// core::HipMclConfig::on_iteration / on_stage hooks and snapshot-readable
+// from any other thread while the job runs.
+//
+// Concurrency contract: each JobProgress has exactly one writer (the
+// thread executing the job) and any number of readers. Gauge fields are
+// individual atomics guarded by a seqlock-style version counter, so a
+// snapshot is (a) lock-free — readers never block the job — and
+// (b) consistent: iteration/chaos/nnz in one snapshot always come from
+// the same completed update. The board's own mutex only guards the job
+// list (touched at registration, never on the job's update path).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mclx::obs {
+
+/// Coarse phases of one clustering run, for live display and stall
+/// diagnosis. Deliberately not sim::Stage: that taxonomy attributes
+/// virtual time (Fig 1); this one answers "what is the job doing right
+/// now" between iteration boundaries.
+enum class RunStage : int {
+  kQueued = 0,    ///< registered, not dispatched
+  kStarting,      ///< dispatched, before the first estimator pass
+  kEstimate,      ///< memory-requirement estimation (§V)
+  kExpand,        ///< SUMMA expansion + fused prune
+  kInflate,       ///< Hadamard power + normalize
+  kConverge,      ///< chaos computation / convergence check
+  kInterpret,     ///< connected components -> labels
+  kFinished,      ///< run returned (any terminal state)
+};
+
+inline constexpr int kNumRunStages = 8;
+
+std::string_view to_string(RunStage s);
+
+/// Point-in-time copy of one job's gauges (all read from one consistent
+/// seqlock generation).
+struct ProgressSnapshot {
+  std::string job;
+  RunStage stage = RunStage::kQueued;
+  std::uint64_t iteration = 0;      ///< completed iterations (global index)
+  double chaos = 0;                 ///< last completed iteration's chaos
+  std::uint64_t live_nnz = 0;       ///< nnz after the last prune
+  std::uint64_t ledger_bytes = 0;   ///< job MemLedger current bytes
+  double virtual_s = 0;             ///< summed per-iteration virtual time
+  double wall_s = 0;                ///< wall seconds since dispatch (0 queued)
+  bool started = false;             ///< mark_started() happened
+  bool finished = false;            ///< mark_finished() happened
+};
+
+/// One job's gauge slot. Single writer, lock-free readers.
+class JobProgress {
+ public:
+  explicit JobProgress(std::string id) : id_(std::move(id)) {}
+  JobProgress(const JobProgress&) = delete;
+  JobProgress& operator=(const JobProgress&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  /// Writer side (the job's runner thread).
+  void mark_started(double wall_now_s);
+  void set_stage(RunStage s);
+  /// One completed iteration: gauges move together under one seqlock
+  /// generation so readers never see iteration k paired with iteration
+  /// k-1's chaos.
+  void record_iteration(std::uint64_t iteration, double chaos,
+                        std::uint64_t nnz, double virtual_delta_s);
+  void set_ledger_bytes(std::uint64_t bytes);
+  /// `wall_now_s` freezes the wall_s gauge (a finished job reports its
+  /// run duration, not time-since-dispatch that keeps growing).
+  void mark_finished(double wall_now_s);
+
+  /// Reader side: consistent lock-free snapshot. `wall_now_s` must come
+  /// from the same clock mark_started() was stamped with (the board's).
+  ProgressSnapshot snapshot(double wall_now_s) const;
+
+ private:
+  void write_begin();
+  void write_end();
+
+  const std::string id_;
+  // Even = quiescent, odd = writer mid-update (readers retry).
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> iteration_{0};
+  std::atomic<std::uint64_t> live_nnz_{0};
+  std::atomic<std::uint64_t> ledger_bytes_{0};
+  std::atomic<double> chaos_{0};
+  std::atomic<double> virtual_s_{0};
+  std::atomic<double> started_at_s_{0};
+  std::atomic<double> finished_at_s_{0};
+  std::atomic<int> stage_{static_cast<int>(RunStage::kQueued)};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+};
+
+/// The per-service registry of job slots. add() and snapshot() take the
+/// board mutex (registration-rate, not iteration-rate); gauge updates
+/// through the returned JobProgress never do.
+class ProgressBoard {
+ public:
+  ProgressBoard();
+
+  /// Register a job slot; throws std::invalid_argument on a duplicate id.
+  std::shared_ptr<JobProgress> add(std::string id);
+
+  /// Slot lookup; nullptr when unknown.
+  std::shared_ptr<JobProgress> find(std::string_view id) const;
+
+  /// Consistent snapshot of every registered job, in registration order.
+  std::vector<ProgressSnapshot> snapshot() const;
+
+  std::size_t size() const;
+
+  /// The wall clock used for wall_s gauges: seconds, monotone. Injectable
+  /// so tests and the svc watchdog can drive time by hand; defaults to
+  /// steady_clock seconds since the board's construction.
+  void set_clock(std::function<double()> clock);
+  double now() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards jobs_ and clock_ only
+  std::vector<std::shared_ptr<JobProgress>> jobs_;
+  std::function<double()> clock_;
+};
+
+}  // namespace mclx::obs

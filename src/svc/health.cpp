@@ -1,0 +1,91 @@
+#include "svc/health.hpp"
+
+namespace mclx::svc {
+
+std::string_view to_string(JobHealth h) {
+  switch (h) {
+    case JobHealth::kWaiting: return "waiting";
+    case JobHealth::kRunning: return "running";
+    case JobHealth::kSlow: return "slow";
+    case JobHealth::kStalled: return "stalled";
+    case JobHealth::kDiverging: return "diverging";
+    case JobHealth::kFinished: return "finished";
+  }
+  return "unknown";
+}
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(std::move(options)) {}
+
+std::vector<HealthReport> Watchdog::sample(
+    const std::vector<obs::ProgressSnapshot>& jobs, double now_s) {
+  std::vector<HealthReport> out;
+  out.reserve(jobs.size());
+  for (const obs::ProgressSnapshot& snap : jobs) {
+    HealthReport rep;
+    rep.job = snap.job;
+    rep.iteration = snap.iteration;
+    rep.chaos = snap.chaos;
+
+    if (snap.finished) {
+      rep.health = JobHealth::kFinished;
+      tracks_.erase(snap.job);
+      out.push_back(std::move(rep));
+      continue;
+    }
+    if (!snap.started) {
+      rep.health = JobHealth::kWaiting;
+      out.push_back(std::move(rep));
+      continue;
+    }
+
+    Track& track = tracks_[snap.job];
+    if (!track.seen) {
+      // First sight of a running job: deadlines count from here, not
+      // from some unobserved dispatch time.
+      track.seen = true;
+      track.last_iteration = snap.iteration;
+      track.last_advance_s = now_s;
+    } else if (snap.iteration > track.last_iteration) {
+      // Iteration advanced since the last sample: reset the stall clock
+      // and extend (or break) the non-decreasing chaos run. Chaos is
+      // only compared across advances — comparing a value against
+      // itself between samples would count a slow iteration as a
+      // plateau.
+      if (track.has_chaos && snap.chaos >= track.last_chaos) {
+        ++track.nondecreasing;
+      } else {
+        track.nondecreasing = 0;
+      }
+      track.last_iteration = snap.iteration;
+      track.last_advance_s = now_s;
+      track.last_chaos = snap.chaos;
+      track.has_chaos = true;
+    }
+    if (!track.has_chaos && snap.iteration > 0) {
+      track.last_chaos = snap.chaos;
+      track.has_chaos = true;
+    }
+
+    rep.since_advance_s = now_s - track.last_advance_s;
+    // Louder verdicts win: a job making no progress at all is stalled
+    // whatever its chaos history says; divergence outranks slowness
+    // because it predicts the run will never settle on its own.
+    if (rep.since_advance_s >= options_.stall_after_s) {
+      rep.health = JobHealth::kStalled;
+    } else if (options_.diverge_after > 0 &&
+               track.nondecreasing >= options_.diverge_after) {
+      rep.health = JobHealth::kDiverging;
+    } else if (rep.since_advance_s >= options_.slow_after_s) {
+      rep.health = JobHealth::kSlow;
+    } else {
+      rep.health = JobHealth::kRunning;
+    }
+    rep.cancel_requested =
+        options_.auto_cancel && (rep.health == JobHealth::kStalled ||
+                                 rep.health == JobHealth::kDiverging);
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+}  // namespace mclx::svc

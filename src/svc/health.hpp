@@ -1,0 +1,102 @@
+// Stall watchdog for the clustering service (docs/SERVICE.md
+// "Watchdog"). The per-iteration checkpoints the paper's pipeline
+// already exposes (iteration count, chaos trajectory, live nnz — the
+// SUMMA/merge stage structure makes every iteration a natural progress
+// beat) are exactly what distinguishes "slow but converging" from
+// "stalled": the Watchdog samples the obs::ProgressBoard, tracks when
+// each job last advanced an iteration, and classifies it.
+//
+// The Watchdog itself is a pure state machine: no threads, no locks, no
+// wall clock of its own — callers pass `now` (svc::Scheduler uses the
+// board's injectable clock), so classification tests run entirely on a
+// fake clock with zero sleeps. The Scheduler wires it up: a sampling
+// thread when WatchdogOptions::sample_interval_s > 0, svc.health.*
+// metrics per pass, and the report-only vs auto-cancel policy routed
+// through the existing cooperative cancel().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/progress.hpp"
+
+namespace mclx::svc {
+
+/// Watchdog verdict for one job at one sample.
+enum class JobHealth : int {
+  kWaiting = 0,   ///< registered, not started (queued/held)
+  kRunning,       ///< advancing within the deadlines
+  kSlow,          ///< no iteration advance for slow_after_s
+  kStalled,       ///< no iteration advance for stall_after_s
+  kDiverging,     ///< chaos non-decreasing for diverge_after advances
+  kFinished,      ///< the run returned (any terminal state)
+};
+
+std::string_view to_string(JobHealth h);
+
+struct WatchdogOptions {
+  /// Master switch: when false the Scheduler keeps no watchdog thread
+  /// and publishes no svc.health.* metrics (the board still updates).
+  bool enabled = false;
+  /// Sampling cadence for the Scheduler's background thread; <= 0 means
+  /// no thread — call Scheduler::sample_health() yourself (tests, or a
+  /// front end that samples on its own refresh tick).
+  double sample_interval_s = 1.0;
+  /// No-iteration-advance deadlines (seconds on the watchdog clock).
+  double slow_after_s = 10.0;
+  double stall_after_s = 60.0;
+  /// Consecutive iteration advances with non-decreasing chaos before a
+  /// job is called diverging (chaos should trend down as MCL converges;
+  /// plateaus happen, so this is a run length, not a single comparison).
+  int diverge_after = 5;
+  /// Policy: report-only (false) or cancel stalled/diverging jobs
+  /// through the scheduler's cooperative cancel() (true).
+  bool auto_cancel = false;
+  /// Injectable clock (seconds, monotone). Defaults to the progress
+  /// board's clock inside the Scheduler; tests drive it by hand.
+  std::function<double()> clock;
+};
+
+/// One job's verdict, returned by Watchdog::sample.
+struct HealthReport {
+  std::string job;
+  JobHealth health = JobHealth::kWaiting;
+  std::uint64_t iteration = 0;    ///< completed iterations at the sample
+  double chaos = 0;               ///< chaos at the sample
+  double since_advance_s = 0;     ///< seconds since the last observed advance
+  bool cancel_requested = false;  ///< auto_cancel policy fired this sample
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options);
+
+  const WatchdogOptions& options() const { return options_; }
+
+  /// One classification pass over a board snapshot at time `now_s`.
+  /// Keeps per-job advance history between calls; a job first seen at
+  /// time t has its deadlines measured from t. Reports come back in
+  /// snapshot order. Not thread-safe — callers serialize (the Scheduler
+  /// holds its watchdog mutex).
+  std::vector<HealthReport> sample(
+      const std::vector<obs::ProgressSnapshot>& jobs, double now_s);
+
+ private:
+  struct Track {
+    std::uint64_t last_iteration = 0;
+    double last_advance_s = 0;
+    double last_chaos = 0;
+    bool has_chaos = false;
+    int nondecreasing = 0;
+    bool seen = false;
+  };
+
+  WatchdogOptions options_;
+  std::map<std::string, Track> tracks_;
+};
+
+}  // namespace mclx::svc

@@ -25,26 +25,37 @@ std::string resolve(const std::string& path, const std::string& dir) {
   return dir + "/" + path;
 }
 
+// Numeric parse failures name the key and the expected type, so the
+// error a manifest author sees ("expected integer for key 'nodes', got
+// 'two'") points at the field to fix, not just the offending token.
 int parse_int(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  int v = 0;
+  bool ok = true;
   try {
-    std::size_t used = 0;
-    const int v = std::stoi(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return v;
+    v = std::stoi(value, &used);
   } catch (const std::exception&) {
-    fail("bad integer for " + key + ": '" + value + "'");
+    ok = false;  // not a number, or out of int range
   }
+  if (!ok || used != value.size()) {
+    fail("expected integer for key '" + key + "', got '" + value + "'");
+  }
+  return v;
 }
 
 double parse_double(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double v = 0;
+  bool ok = true;
   try {
-    std::size_t used = 0;
-    const double v = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return v;
+    v = std::stod(value, &used);
   } catch (const std::exception&) {
-    fail("bad number for " + key + ": '" + value + "'");
+    ok = false;  // not a number, or out of double range
   }
+  if (!ok || used != value.size()) {
+    fail("expected number for key '" + key + "', got '" + value + "'");
+  }
+  return v;
 }
 
 core::HipMclConfig config_by_name(const std::string& name) {

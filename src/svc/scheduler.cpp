@@ -43,7 +43,8 @@ std::string_view to_string(JobState s) {
   return "unknown";
 }
 
-Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(options), watchdog_(options.watchdog) {
   if (options_.max_concurrent < 1) {
     throw std::invalid_argument("svc::Scheduler: max_concurrent < 1");
   }
@@ -55,10 +56,21 @@ Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
   for (int r = 0; r < options_.max_concurrent; ++r) {
     runners_.emplace_back([this] { runner_loop(); });
   }
+  if (options_.watchdog.enabled && options_.watchdog.sample_interval_s > 0) {
+    wd_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 Scheduler::~Scheduler() {
   drain();
+  if (wd_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(wd_mu_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    wd_thread_.join();
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
@@ -80,6 +92,9 @@ std::string Scheduler::submit(JobSpec spec) {
     h->spec = std::move(spec);
     h->seq = next_seq_++;
     h->submitted = std::chrono::steady_clock::now();
+    // Scheduler ids are unique for its whole lifetime (jobs_ keeps
+    // terminal handles), so the board's own duplicate check can't fire.
+    h->progress = board_.add(h->spec.id);
     jobs_.push_back(h);
     ++queued_;
     svc_metrics_.add("svc.jobs.submitted");
@@ -101,6 +116,7 @@ bool Scheduler::cancel(const std::string& id) {
       h->outcome.state = JobState::kCancelled;
       h->outcome.wait_s = seconds_since(h->submitted);
       --queued_;
+      h->progress->mark_finished(board_.now());
       svc_metrics_.add("svc.jobs.cancelled");
       svc_metrics_.observe("svc.queue.depth", queued_);
       settled_.notify_all();
@@ -172,6 +188,111 @@ obs::MetricsRegistry Scheduler::metrics_snapshot() const {
   return svc_metrics_;
 }
 
+std::vector<HealthReport> Scheduler::sample_health() {
+  if (!options_.watchdog.enabled) return {};
+  const double now =
+      options_.watchdog.clock ? options_.watchdog.clock() : board_.now();
+  const std::vector<obs::ProgressSnapshot> snaps = board_.snapshot();
+  std::vector<HealthReport> reports;
+  {
+    std::lock_guard<std::mutex> lk(wd_mu_);
+    reports = watchdog_.sample(snaps, now);
+    for (const HealthReport& r : reports) last_health_[r.job] = r.health;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    svc_metrics_.add("svc.health.samples");
+    int running = 0;
+    for (const HealthReport& r : reports) {
+      switch (r.health) {
+        case JobHealth::kRunning: ++running; break;
+        case JobHealth::kSlow: svc_metrics_.add("svc.health.slow"); break;
+        case JobHealth::kStalled: svc_metrics_.add("svc.health.stalled"); break;
+        case JobHealth::kDiverging:
+          svc_metrics_.add("svc.health.diverging");
+          break;
+        default: break;
+      }
+    }
+    svc_metrics_.observe("svc.health.running", running);
+  }
+  // Policy actions go through the public cancel() with no locks held —
+  // it takes mu_ itself, and a queued job cancelled here settles
+  // immediately just like a caller-issued cancel.
+  for (const HealthReport& r : reports) {
+    if (r.cancel_requested && cancel(r.job)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      svc_metrics_.add("svc.health.auto_cancelled");
+    }
+  }
+  return reports;
+}
+
+bool Scheduler::all_settled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_ == 0 && running_ == 0;
+}
+
+std::vector<Scheduler::LiveJob> Scheduler::jobs_snapshot() const {
+  struct Row {
+    std::string id;
+    JobState state;
+    std::shared_ptr<obs::JobProgress> progress;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rows.reserve(jobs_.size());
+    for (const auto& h : jobs_) {
+      rows.push_back({h->spec.id, h->state, h->progress});
+    }
+  }
+  std::map<std::string, JobHealth> verdicts;
+  {
+    std::lock_guard<std::mutex> lk(wd_mu_);
+    verdicts = last_health_;
+  }
+  const double now = board_.now();
+  std::vector<LiveJob> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    LiveJob j;
+    j.id = row.id;
+    j.state = row.state;
+    j.progress = row.progress->snapshot(now);
+    // Watchdog verdict when one exists and the job is still live;
+    // otherwise a sensible default so --watch reads right with the
+    // watchdog off.
+    switch (row.state) {
+      case JobState::kQueued: j.health = JobHealth::kWaiting; break;
+      case JobState::kRunning: j.health = JobHealth::kRunning; break;
+      default: j.health = JobHealth::kFinished; break;
+    }
+    if (row.state == JobState::kRunning) {
+      const auto it = verdicts.find(row.id);
+      if (it != verdicts.end() && it->second != JobHealth::kFinished &&
+          it->second != JobHealth::kWaiting) {
+        j.health = it->second;
+      }
+    }
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
+void Scheduler::watchdog_loop() {
+  const auto interval =
+      std::chrono::duration<double>(options_.watchdog.sample_interval_s);
+  std::unique_lock<std::mutex> lk(wd_mu_);
+  while (!wd_stop_) {
+    wd_cv_.wait_for(lk, interval, [&] { return wd_stop_; });
+    if (wd_stop_) return;
+    lk.unlock();
+    sample_health();
+    lk.lock();
+  }
+}
+
 std::shared_ptr<Scheduler::Handle> Scheduler::next_locked() {
   if (held_) return nullptr;
   std::shared_ptr<Handle> best;
@@ -209,7 +330,9 @@ void Scheduler::runner_loop() {
     svc_metrics_.observe("svc.lanes.occupied", running_ * lane_share_);
     lk.unlock();
 
+    h->progress->mark_started(board_.now());
     execute(*h);  // fills h->outcome; h->state still kRunning for readers
+    h->progress->mark_finished(board_.now());
 
     lk.lock();
     h->state = h->outcome.state;
@@ -259,6 +382,28 @@ void Scheduler::execute(Handle& h) {
     config.should_stop = [&cancel_flag, user_stop] {
       return cancel_flag.load(std::memory_order_relaxed) ||
              (user_stop && user_stop());
+    };
+
+    // Live gauges: stage transitions and completed iterations land on
+    // the job's board slot (this runner is the slot's single writer).
+    // Installed unconditionally — the board is how the watchdog and the
+    // status surfaces see the job, report file or not.
+    obs::JobProgress& progress = *h.progress;
+    const std::function<void(obs::RunStage)> user_stage = config.on_stage;
+    config.on_stage = [&progress, user_stage](obs::RunStage s) {
+      progress.set_stage(s);
+      if (user_stage) user_stage(s);
+    };
+    const std::function<void(const core::IterationReport&)> progress_iter =
+        config.on_iteration;
+    config.on_iteration = [&progress, &job_ledger,
+                           progress_iter](const core::IterationReport& it) {
+      progress.record_iteration(static_cast<std::uint64_t>(it.iter), it.chaos,
+                                it.nnz_after_prune,
+                                static_cast<double>(it.elapsed));
+      progress.set_ledger_bytes(
+          static_cast<std::uint64_t>(job_ledger.total_current_bytes()));
+      if (progress_iter) progress_iter(it);
     };
 
     // Streaming report: run_meta now, an iteration record per completed

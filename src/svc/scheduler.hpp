@@ -26,6 +26,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +34,8 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "svc/health.hpp"
 #include "svc/job.hpp"
 
 namespace mclx::svc {
@@ -47,6 +50,10 @@ struct SchedulerOptions {
   /// batch instead of submission timing (tests use this to make
   /// dispatch order observable).
   bool hold = false;
+  /// Stall watchdog policy (svc/health.hpp). Disabled by default; when
+  /// enabled with sample_interval_s > 0 the scheduler runs a sampling
+  /// thread, otherwise call sample_health() on your own cadence.
+  WatchdogOptions watchdog;
 };
 
 class Scheduler {
@@ -93,6 +100,36 @@ class Scheduler {
   /// under the scheduler mutex — safe to call while jobs run.
   obs::MetricsRegistry metrics_snapshot() const;
 
+  /// The live per-job progress board: one obs::JobProgress per submitted
+  /// job, updated from the run loop's on_stage/on_iteration hooks and
+  /// snapshot-readable without blocking writers. Valid for the
+  /// scheduler's lifetime.
+  const obs::ProgressBoard& board() const { return board_; }
+  obs::ProgressBoard& board() { return board_; }
+
+  /// One watchdog classification pass over the current board (no-op
+  /// empty result when options.watchdog.enabled is false): publishes
+  /// svc.health.* metrics and, under the auto_cancel policy, routes
+  /// stalled/diverging jobs through cancel(). The background sampling
+  /// thread calls this every sample_interval_s; call it directly for a
+  /// front-end refresh tick or a fake-clock test.
+  std::vector<HealthReport> sample_health();
+
+  /// True when no submitted job is queued or running. Unlike drain()
+  /// this never blocks — front ends poll it between status refreshes.
+  bool all_settled() const;
+
+  /// One row per submitted job for status surfaces: terminal state (or
+  /// kQueued/kRunning), the watchdog's latest verdict (kWaiting until a
+  /// sample has seen the job), and a progress snapshot. Submit order.
+  struct LiveJob {
+    std::string id;
+    JobState state = JobState::kQueued;
+    JobHealth health = JobHealth::kWaiting;
+    obs::ProgressSnapshot progress;
+  };
+  std::vector<LiveJob> jobs_snapshot() const;
+
  private:
   struct Handle {
     JobSpec spec;
@@ -101,9 +138,12 @@ class Scheduler {
     std::atomic<bool> cancel_requested{false};
     std::chrono::steady_clock::time_point submitted{};
     JobOutcome outcome;
+    /// This job's progress gauges on the board (never null).
+    std::shared_ptr<obs::JobProgress> progress;
   };
 
   void runner_loop();
+  void watchdog_loop();
   /// Highest-priority queued handle (callers hold mu_); null when the
   /// queue is empty or held.
   std::shared_ptr<Handle> next_locked();
@@ -124,6 +164,19 @@ class Scheduler {
   int running_ = 0;
   int next_seq_ = 0;
   obs::MetricsRegistry svc_metrics_;
+
+  obs::ProgressBoard board_;
+
+  // Watchdog state under its own mutex: sample_health() reads the board
+  // (lock-free) and classifies without touching mu_, then takes mu_ only
+  // to publish metrics and read job states — never both locks at once in
+  // the other order, so there is no ordering cycle.
+  mutable std::mutex wd_mu_;
+  Watchdog watchdog_;
+  std::map<std::string, JobHealth> last_health_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+  std::thread wd_thread_;
 
   std::vector<std::thread> runners_;
 };

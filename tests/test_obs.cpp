@@ -255,6 +255,46 @@ TEST(Metrics, RegistryRecordFeedsHistograms) {
   ASSERT_NE(reg.histogram("seen"), nullptr);
 }
 
+TEST(Metrics, NamesAndForEachIterateSortedAndComplete) {
+  obs::MetricsRegistry reg;
+  reg.add("z.counter");
+  reg.add("a.counter", 2);
+  reg.observe("m.acc", 1.5);
+  reg.record("m.hist", 4.0);
+  // The same name as both an observation and a histogram dedups in
+  // names() but visits once per kind in for_each.
+  reg.observe("m.hist", 4.0);
+
+  const std::vector<std::string> names = reg.names();
+  EXPECT_EQ(names, (std::vector<std::string>{"a.counter", "m.acc", "m.hist",
+                                             "z.counter"}));
+
+  std::vector<std::string> counters, accs, hists;
+  reg.for_each(
+      [&](std::string_view n, std::uint64_t v) {
+        counters.emplace_back(n);
+        if (n == "a.counter") EXPECT_EQ(v, 2u);
+      },
+      [&](std::string_view n, const obs::Accumulator& a) {
+        accs.emplace_back(n);
+        EXPECT_GE(a.count, 1u);
+      },
+      [&](std::string_view n, const obs::Histogram& h) {
+        hists.emplace_back(n);
+        EXPECT_EQ(h.count(), 1u);
+      });
+  EXPECT_EQ(counters, (std::vector<std::string>{"a.counter", "z.counter"}));
+  EXPECT_EQ(accs, (std::vector<std::string>{"m.acc", "m.hist"}));
+  EXPECT_EQ(hists, (std::vector<std::string>{"m.hist"}));
+
+  // Null callbacks skip that kind rather than crashing — exporters that
+  // only care about one kind pass just that one.
+  std::size_t count_only = 0;
+  reg.for_each([&](std::string_view, std::uint64_t) { ++count_only; },
+               nullptr, nullptr);
+  EXPECT_EQ(count_only, 2u);
+}
+
 TEST(Metrics, GlobalSinkIsScopedAndNestable) {
   EXPECT_EQ(obs::metrics(), nullptr);
   obs::count("dropped.on.floor");  // no registry installed: no-op

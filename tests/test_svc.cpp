@@ -418,4 +418,41 @@ TEST(SvcManifest, RejectsTyposAndMissingWorkload) {
                std::invalid_argument);
 }
 
+// A numeric parse failure must name the key and the expected type, not
+// just echo the offending token — the manifest author needs to know
+// which field to fix.
+TEST(SvcManifest, NumericParseErrorsNameKeyAndExpectedType) {
+  svc::JobSpec spec;
+  const auto message_of = [&spec](const std::string& line) {
+    try {
+      svc::parse_manifest_line(line, spec);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  const std::string ints = message_of("workload=tiny nodes=four");
+  EXPECT_NE(ints.find("expected integer"), std::string::npos) << ints;
+  EXPECT_NE(ints.find("'nodes'"), std::string::npos) << ints;
+  EXPECT_NE(ints.find("'four'"), std::string::npos) << ints;
+
+  const std::string doubles = message_of("workload=tiny inflation=two");
+  EXPECT_NE(doubles.find("expected number"), std::string::npos) << doubles;
+  EXPECT_NE(doubles.find("'inflation'"), std::string::npos) << doubles;
+  EXPECT_NE(doubles.find("'two'"), std::string::npos) << doubles;
+
+  // A numeric prefix with trailing junk is not a number.
+  const std::string tail = message_of("workload=tiny scale=1.5x");
+  EXPECT_NE(tail.find("expected number for key 'scale', got '1.5x'"),
+            std::string::npos)
+      << tail;
+  // Out-of-range is a parse failure too, with the same message shape.
+  const std::string range =
+      message_of("workload=tiny max-iters=99999999999999999999");
+  EXPECT_NE(range.find("expected integer for key 'max-iters'"),
+            std::string::npos)
+      << range;
+}
+
 }  // namespace
