@@ -16,6 +16,7 @@
 
 #include "gen/planted.hpp"
 #include "gpuk/esc.hpp"
+#include "order/order.hpp"
 #include "gpuk/rmerge.hpp"
 #include "sim/costmodel.hpp"
 #include "sim/machine.hpp"
@@ -190,13 +191,23 @@ C planted_matrix(int workload) {
     p.max_family = 30;
     p.p_in = 0.3;
     p.out_degree = 16.0;
+  } else if (workload == 2) {
+    // "hub" (arg 2): the family regime scaled up until the flops-bound
+    // table sizing spills L2 — heavy-tailed families make the worst
+    // column's flops bound orders of magnitude above its output nnz, so
+    // a table sized to flops is MBs while one sized to the output is
+    // KBs. This is the regime the reordered blocked kernel targets.
+    p.n = 8000;
+    p.mean_family = 80.0;
+    p.max_family = 800;
   }
   auto g = gen::planted_partition(p);
   return sparse::csc_from_triples(std::move(g.edges));
 }
 
 const char* workload_name(int workload) {
-  return workload == 1 ? "noise" : "family";
+  if (workload == 1) return "noise";
+  return workload == 2 ? "hub" : "family";
 }
 
 /// Drives `table` through the full product stream of A·A: accumulate
@@ -265,6 +276,54 @@ void BM_PlantedAccumSimd(benchmark::State& state) {
                  "/" + std::string(simd::backend()));
 }
 
+/// The reordered-kernel accumulator model: the *same* scalar AoS table
+/// as BM_PlantedAccumScalar, but driven the way spgemm/hash_reord.hpp
+/// drives it — operand RCM-permuted for locality and the table sized to
+/// the worst output column (cache-resident) instead of the worst
+/// column's flops bound. Compare against BM_PlantedAccumScalar on the
+/// "family" (hit-dominated) workload: the delta is what reordering +
+/// output-bound sizing buy, and it calibrates both the
+/// simd_hit_cf_threshold / reordered routing in the hybrid policy and
+/// the cost model's reord_rate_scale (docs/PERFORMANCE.md).
+void BM_PlantedAccumReord(benchmark::State& state) {
+  const C raw = planted_matrix(static_cast<int>(state.range(0)));
+  const auto perm = order::compute_order(order::OrderKind::kRcm, raw);
+  const C a = perm.apply_symmetric(raw);
+  const auto per_col = spgemm::symbolic_nnz_per_col(a, a);
+  std::uint64_t max_nnz = 0;
+  for (const auto c : per_col) max_nnz = std::max(max_nnz, c);
+  spgemm::detail::HashAccumulator<vidx_t, val_t> table;
+  table.reset_capacity(static_cast<std::size_t>(max_nnz));
+  planted_accum_loop(state, a, table);
+  state.SetLabel(std::string(workload_name(static_cast<int>(state.range(0)))) +
+                 "/rcm");
+}
+
+/// Ordering construction + symmetric application, the one-off cost a
+/// reordered run pays up front (arg: 0 = degree, 1 = rcm, 2 = cluster).
+void BM_ReorderPermute(benchmark::State& state) {
+  const C a = planted_matrix(0);
+  const auto kind = static_cast<order::OrderKind>(
+      static_cast<int>(order::OrderKind::kDegree) +
+      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto perm = order::compute_order(kind, a);
+    const C pa = perm.apply_symmetric(a);
+    benchmark::DoNotOptimize(pa.colptr().data());
+  }
+  const auto perm = order::compute_order(kind, a);
+  state.counters["n"] = static_cast<double>(a.ncols());
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+  state.counters["bandwidth_before"] =
+      static_cast<double>(order::pattern_bandwidth(a));
+  state.counters["bandwidth_after"] =
+      static_cast<double>(order::pattern_bandwidth(perm.apply_symmetric(a)));
+  // Permute moves every entry once: read + write of (row, col, val).
+  state.counters["bytes_per_entry"] =
+      2.0 * (2 * sizeof(vidx_t) + sizeof(val_t));
+  state.SetLabel(std::string(order::order_name(kind)));
+}
+
 void BM_PlantedPruneScalar(benchmark::State& state) {
   const C a = planted_matrix(0);
   std::vector<char> flags(a.nnz());
@@ -325,10 +384,16 @@ void BM_PlantedInflateSimd(benchmark::State& state) {
 }
 
 BENCHMARK(BM_PlantedAccumScalar)
-    ->DenseRange(0, 1)
+    ->DenseRange(0, 2)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PlantedAccumSimd)
-    ->DenseRange(0, 1)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlantedAccumReord)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReorderPermute)
+    ->DenseRange(0, 2)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PlantedPruneScalar)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PlantedPruneSimd)->Unit(benchmark::kMicrosecond);

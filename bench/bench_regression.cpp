@@ -16,9 +16,11 @@
 #include "gen/planted.hpp"
 #include "obs/expo.hpp"
 #include "obs/json_writer.hpp"
+#include "order/order.hpp"
 #include "sparse/convert.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
+#include "spgemm/hash_reord.hpp"
 #include "spgemm/hash_simd.hpp"
 #include "svc/scheduler.hpp"
 #include "util/parallel.hpp"
@@ -98,7 +100,10 @@ int main(int argc, char** argv) try {
   // real.svc_* wall-clock throughput fields. Version 6: the
   // real.status_export_* fields (one Prometheus exposition pass over the
   // populated run registry — the --status-out cost per rewrite).
-  w.field("schema_version", std::uint64_t{6});
+  // Version 7: the real.spgemm_reord_* fields (RCM ordering cost and the
+  // blocked reordered kernel's wall time + bitmatch on the permuted
+  // operand).
+  w.field("schema_version", std::uint64_t{7});
   w.field("bench", "bench_regression");
 
   w.begin_object("workload");
@@ -292,6 +297,26 @@ int main(int argc, char** argv) try {
     w.field("spgemm_simd_bitmatch", c_simd.colptr() == c_seq.colptr() &&
                                         c_simd.rowids() == c_seq.rowids() &&
                                         c_simd.vals() == c_seq.vals());
+    // Reordering: one-off RCM ordering + permute cost, then the blocked
+    // kernel on the permuted operand against the reference hash kernel
+    // on the same operand (bitwise contract checked on every gate run).
+    util::WallTimer order_wall;
+    const auto rcm = order::compute_order(order::OrderKind::kRcm, a);
+    const auto pa = rcm.apply_symmetric(a);
+    const double order_s = order_wall.elapsed_s();
+    util::WallTimer reord_wall;
+    const auto c_reord = spgemm::reord_hash_spgemm(pa, pa);
+    const double reord_s = reord_wall.elapsed_s();
+    const auto c_pref = spgemm::hash_spgemm(pa, pa);
+    w.field("spgemm_reord_order_s", order_s);
+    w.field("spgemm_reord_s", reord_s);
+    w.field("spgemm_reord_bitmatch", c_reord.colptr() == c_pref.colptr() &&
+                                         c_reord.rowids() == c_pref.rowids() &&
+                                         c_reord.vals() == c_pref.vals());
+    w.field("spgemm_reord_bandwidth_before",
+            order::pattern_bandwidth(a));
+    w.field("spgemm_reord_bandwidth_after",
+            order::pattern_bandwidth(pa));
     // Saturation throughput and scheduling latency of the svc block's
     // six-job run: wall-clock, so machine-dependent like everything
     // else here.

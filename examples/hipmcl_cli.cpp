@@ -9,6 +9,7 @@
 //                [--nodes 16] [--inflation 2.0] [--select-k 80]
 //                [--cutoff 1e-4] [--recover 0] [--mem-gb 0]
 //                [--config optimized] [--estimator probabilistic]
+//                [--order none|degree|rcm|cluster|env]
 //                [--metrics-out run.jsonl] [--trace-out run.trace.json]
 //                [--trace-chrome run.chrome.json] [--analyze]
 //
@@ -80,6 +81,9 @@ int main(int argc, char** argv) try {
       "original | no-overlap | optimized");
   const std::string estimator = cli.get("estimator", "probabilistic",
       "exact | probabilistic | adaptive");
+  const std::string order_name = cli.get("order", "env",
+      "locality reordering: none | degree | rcm | cluster | env "
+      "(env reads MCLX_REORDER)");
   const bool report = cli.get_bool("report", false,
       "print per-cluster cohesion statistics");
   const std::string metrics_out = cli.get("metrics-out", "",
@@ -119,6 +123,11 @@ int main(int argc, char** argv) try {
   params.prune.select_k = select_k;
   params.prune.recover_num = recover;
   core::HipMclConfig config = make_config(config_name, estimator);
+  if (order_name != "env") {
+    const auto okind = order::parse_order_kind(order_name);
+    if (!okind) throw std::invalid_argument("unknown --order: " + order_name);
+    config.ordering = *okind;
+  }
   if (mem_gb > 0) {
     config.mem_budget_per_rank =
         static_cast<bytes_t>(mem_gb * 1024.0 * 1024.0 * 1024.0);

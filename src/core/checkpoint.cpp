@@ -11,7 +11,10 @@ namespace mclx::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'C', 'L', 'X', 'C', 'K', 'P', '1'};
+// v2 appends the locality permutation after the matrix entries; v1 files
+// (pre-reordering) still load, with an empty permutation.
+constexpr char kMagicV1[8] = {'M', 'C', 'L', 'X', 'C', 'K', 'P', '1'};
+constexpr char kMagicV2[8] = {'M', 'C', 'L', 'X', 'C', 'K', 'P', '2'};
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("checkpoint: " + what);
@@ -39,7 +42,7 @@ void save_checkpoint(const std::string& path, const Checkpoint& cp) {
   {
     std::ofstream out(tmp, std::ios::binary);
     if (!out) fail("cannot open for write: " + tmp);
-    out.write(kMagic, 8);
+    out.write(kMagicV2, 8);
     write_pod(out, static_cast<std::int64_t>(cp.completed_iterations));
     write_pod(out, cp.matrix.nrows());
     write_pod(out, cp.matrix.ncols());
@@ -49,6 +52,8 @@ void save_checkpoint(const std::string& path, const Checkpoint& cp) {
       write_pod(out, e.col);
       write_pod(out, e.val);
     }
+    write_pod(out, static_cast<std::uint64_t>(cp.order_perm.size()));
+    for (const vidx_t v : cp.order_perm) write_pod(out, v);
     if (!out) fail("write failed: " + tmp);
   }
   std::filesystem::rename(tmp, path);
@@ -59,7 +64,9 @@ std::optional<Checkpoint> load_checkpoint(const std::string& path) {
   if (!in) return std::nullopt;  // absent: fresh start
   char magic[8];
   in.read(magic, 8);
-  if (!in || std::memcmp(magic, kMagic, 8) != 0)
+  if (!in) fail("bad magic in " + path);
+  const bool v2 = std::memcmp(magic, kMagicV2, 8) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, 8) != 0)
     fail("bad magic in " + path);
   Checkpoint cp;
   cp.completed_iterations =
@@ -79,6 +86,17 @@ std::optional<Checkpoint> load_checkpoint(const std::string& path) {
       fail("entry out of bounds in " + path);
     cp.matrix.push_unchecked(row, col, val);
   }
+  if (v2) {
+    const auto perm_size = read_pod<std::uint64_t>(in);
+    if (perm_size != 0 && perm_size != static_cast<std::uint64_t>(nrows))
+      fail("corrupt permutation in " + path);
+    cp.order_perm.reserve(perm_size);
+    for (std::uint64_t v = 0; v < perm_size; ++v) {
+      const auto p = read_pod<vidx_t>(in);
+      if (p < 0 || p >= nrows) fail("permutation entry out of range in " + path);
+      cp.order_perm.push_back(p);
+    }
+  }
   return cp;
 }
 
@@ -94,9 +112,11 @@ MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
   dist::TriplesD current = graph;
   int done = 0;
   bool resumed = false;
+  std::vector<vidx_t> order_perm = config.resume_order;
   if (auto cp = load_checkpoint(path)) {
     current = std::move(cp->matrix);
     done = cp->completed_iterations;
+    order_perm = std::move(cp->order_perm);
     resumed = true;
     util::log_info("checkpoint: resuming after ", done, " iterations");
   }
@@ -120,8 +140,16 @@ MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
     chunk_params.max_iters = std::min(every, params.max_iters - done);
     chunk_config.start_iteration = done;
     chunk_config.assume_stochastic = stochastic;
+    // Every chunk after the first (and every resumed chunk) re-enters
+    // the permuted space of the fresh run through the saved handle; the
+    // permute→un-permute round trip at chunk boundaries is a pure
+    // relabeling, so the in-loop trajectory stays bitwise identical to
+    // the uninterrupted run's.
+    chunk_config.resume_order = order_perm;
     MclResult chunk =
         run_hipmcl(current, chunk_params, chunk_config, sim);
+    if (order_perm.empty()) order_perm = chunk.order_perm;
+    total.order_perm = chunk.order_perm;
 
     done += chunk.iterations;
     total.iterations += chunk.iterations;
@@ -140,7 +168,7 @@ MclResult run_hipmcl_checkpointed(const dist::TriplesD& graph,
     total.cancelled = chunk.cancelled;
 
     current = chunk.final_matrix->to_triples();
-    save_checkpoint(path, {current, done});
+    save_checkpoint(path, {current, done, order_perm});
     if (config.keep_final_matrix) {
       total.final_matrix = std::move(chunk.final_matrix);
     }

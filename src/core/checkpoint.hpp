@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/hipmcl.hpp"
 #include "sparse/triples.hpp"
@@ -15,8 +16,14 @@
 namespace mclx::core {
 
 struct Checkpoint {
-  sparse::Triples<vidx_t, val_t> matrix;  ///< current A (stochastic)
+  sparse::Triples<vidx_t, val_t> matrix;  ///< current A (stochastic, input space)
   int completed_iterations = 0;
+  /// The locality permutation the run executes under (new_of_old form;
+  /// empty when reordering is off). The matrix above is always stored in
+  /// *input* space — this is the handle that re-enters the same permuted
+  /// space on resume (HipMclConfig::resume_order), which keeps resumed
+  /// reordered runs on the uninterrupted run's bitwise trajectory.
+  std::vector<vidx_t> order_perm;
 };
 
 /// Write a checkpoint (binary; magic-tagged, versioned via snapshot IO).

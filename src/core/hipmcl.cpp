@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/chaos.hpp"
 #include "core/inflate.hpp"
@@ -14,9 +15,11 @@
 #include "obs/metrics.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
+#include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
 #include "spgemm/symbolic.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace mclx::core {
 
@@ -187,10 +190,49 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     for (vidx_t v = 0; v < graph.nrows(); ++v) init.push_unchecked(v, v, 1.0);
     init.sort_and_combine();
   }
+
+  // --- locality reordering (order/order.hpp) ----------------------------
+  // Permute once here; the whole iteration loop below runs in permuted
+  // space and only the interpretation maps back. A fresh ordering is
+  // computed only on fresh entry — resumed chunks must re-enter the
+  // *same* permuted space (resume_order) or none at all, otherwise the
+  // bitwise chunked-equals-uninterrupted contract breaks.
+  order::Permutation perm;
+  if (!config.resume_order.empty()) {
+    perm = order::Permutation(config.resume_order);  // validates
+    if (perm.size() != graph.nrows())
+      throw std::invalid_argument("run_hipmcl: resume_order size mismatch");
+  } else if (config.start_iteration == 0 && !config.assume_stochastic) {
+    const order::OrderKind okind = order::resolve_order_kind(config.ordering);
+    if (okind != order::OrderKind::kNone) {
+      util::WallTimer order_wall;
+      perm = order::compute_order(
+          okind, sparse::csc_from_triples(dist::TriplesD(init)));
+      if (obs::metrics()) {
+        obs::count(std::string("order.computed.") +
+                   std::string(order::order_name(okind)));
+        obs::observe("order.compute_s", order_wall.elapsed_s());
+      }
+    }
+  }
+  const bool permuted = !perm.empty();
+  if (permuted) {
+    const auto bw_before = order::pattern_bandwidth(init);
+    util::WallTimer permute_wall;
+    perm.apply_symmetric(init);
+    if (obs::metrics()) {
+      obs::observe("order.permute_s", permute_wall.elapsed_s());
+      obs::observe("order.bandwidth_before", static_cast<double>(bw_before));
+      obs::observe("order.bandwidth_after",
+                   static_cast<double>(order::pattern_bandwidth(init)));
+    }
+  }
+
   dist::DistMat a = dist::DistMat::from_triples(init, grid);
   if (!config.assume_stochastic) distributed_normalize(a, sim);
 
   MclResult result;
+  if (permuted) result.order_perm = perm.new_of_old();
   const sim::StageTimes run_before = sim.critical_stage_times();
   const vtime_t run_elapsed_before = sim.elapsed();
 
@@ -261,6 +303,9 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     opt.pipelined = config.pipelined;
     opt.binary_merge = config.binary_merge;
     opt.kernel = config.kernel;
+    // The operand is in reordered space: let the hybrid policy consider
+    // the blocked locality kernel for hit-dominated multiplies.
+    if (permuted) opt.kernel.hybrid.reordered = true;
     opt.phases = plan.phases;
     opt.cf_estimate = rep.cf;
     const PruneParams prune = params.prune;
@@ -279,6 +324,15 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     if (!use_exact) {
       obs::mem_measure("estimate.unpruned_nnz",
                        static_cast<double>(rep.measured_unpruned_nnz));
+    }
+    // Accumulator hit-rate proxy: hits/flops = 1 − nnz(A·A)/flops. The
+    // quantity the reordered kernel's crossover is measured against
+    // (docs/PERFORMANCE.md "Reordering & locality").
+    if (permuted && obs::metrics() && rep.flops > 0 &&
+        rep.measured_unpruned_nnz > 0) {
+      obs::observe("order.hit_rate_proxy",
+                   1.0 - static_cast<double>(rep.measured_unpruned_nnz) /
+                             static_cast<double>(rep.flops));
     }
     rep.merge_peak_sum = expansion.stats.merge_peak_elements_sum;
     rep.merge_peak_max = expansion.stats.merge_peak_elements_max;
@@ -323,7 +377,35 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
   dist::ComponentsResult cc = dist::connected_components(a, sim);
   result.labels = std::move(cc.labels);
   result.num_clusters = cc.num_components;
-  if (config.keep_final_matrix) result.final_matrix = std::move(a);
+  if (permuted) {
+    // Map labels back to input space, then renumber by first occurrence
+    // in input-vertex order. connected_components numbers clusters by
+    // smallest member — already first-occurrence order for an unpermuted
+    // run — so a reordered run's label *array* comes out equal to the
+    // reorder-off one, not merely the same partition.
+    std::vector<vidx_t> lab = perm.to_old_space(result.labels);
+    std::vector<vidx_t> remap(static_cast<std::size_t>(result.num_clusters),
+                              vidx_t{-1});
+    vidx_t next = 0;
+    for (auto& l : lab) {
+      auto& r = remap[static_cast<std::size_t>(l)];
+      if (r < 0) r = next++;
+      l = r;
+    }
+    result.labels = std::move(lab);
+  }
+  if (config.keep_final_matrix) {
+    if (permuted) {
+      // Un-permute so checkpoints / interpret_attractors see input-space
+      // vertex ids; the resume handle (order_perm) re-enters permuted
+      // space when the run continues.
+      dist::TriplesD t = a.to_triples();
+      perm.inverted().apply_symmetric(t);
+      result.final_matrix = dist::DistMat::from_triples(t, grid);
+    } else {
+      result.final_matrix = std::move(a);
+    }
+  }
 
   result.stage_times = stage_delta(sim, run_before);
   result.elapsed = sim.elapsed() - run_elapsed_before;

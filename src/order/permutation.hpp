@@ -1,0 +1,119 @@
+// Vertex permutation as a first-class object. The locality-reordering
+// pass (order/order.hpp) produces one of these; the pipeline applies it
+// symmetrically to the input graph once, runs the whole expand/prune/
+// inflate loop in permuted space, and maps the clustering back to input
+// space at interpret time. Both directions are pure relabelings — no
+// arithmetic touches the values — so a permute→un-permute round trip is
+// exact, which is what keeps the bitwise checkpoint/resume contract
+// intact across reordered runs (docs/PERFORMANCE.md "Reordering &
+// locality").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sparse/convert.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triples.hpp"
+#include "util/types.hpp"
+
+namespace mclx::order {
+
+/// A permutation of [0, n): `new_of_old[v]` is vertex v's position in
+/// the permuted space. Empty means "no permutation" (identity of
+/// unknown size) — the pipeline's reorder-off state.
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Validates on construction: throws std::invalid_argument unless the
+  /// vector is a bijection of [0, size). The inverse is precomputed —
+  /// both directions are needed on the run's hot boundaries.
+  explicit Permutation(std::vector<vidx_t> new_of_old)
+      : new_of_old_(std::move(new_of_old)),
+        old_of_new_(sparse::inverse_permutation(new_of_old_)) {}
+
+  static Permutation identity(vidx_t n) {
+    std::vector<vidx_t> p(static_cast<std::size_t>(n));
+    for (vidx_t v = 0; v < n; ++v) p[static_cast<std::size_t>(v)] = v;
+    return Permutation(std::move(p));
+  }
+
+  bool empty() const { return new_of_old_.empty(); }
+  vidx_t size() const { return static_cast<vidx_t>(new_of_old_.size()); }
+
+  const std::vector<vidx_t>& new_of_old() const { return new_of_old_; }
+  const std::vector<vidx_t>& old_of_new() const { return old_of_new_; }
+
+  Permutation inverted() const {
+    Permutation p;
+    p.new_of_old_ = old_of_new_;
+    p.old_of_new_ = new_of_old_;
+    return p;
+  }
+
+  /// P·A·Pᵀ in place; re-sorts so downstream consumers (CSC conversion,
+  /// block distribution) see canonical entry order. Values untouched.
+  void apply_symmetric(sparse::Triples<vidx_t, val_t>& t) const {
+    sparse::permute_symmetric(t, new_of_old_);
+    t.sort_and_combine();
+  }
+
+  /// P·A·Pᵀ of a CSC matrix (via triples; returns a fresh matrix).
+  sparse::Csc<vidx_t, val_t> apply_symmetric(
+      const sparse::Csc<vidx_t, val_t>& a) const {
+    auto t = sparse::triples_from_csc(a);
+    apply_symmetric(t);
+    return sparse::csc_from_triples(std::move(t));
+  }
+
+  /// Per-vertex values into permuted space: out[new_of_old[v]] = in[v].
+  template <typename L>
+  std::vector<L> to_new_space(const std::vector<L>& in) const {
+    return sparse::permute_labels(in, new_of_old_);
+  }
+
+  /// Per-vertex values back to input space: out[v] = in[new_of_old[v]].
+  template <typename L>
+  std::vector<L> to_old_space(const std::vector<L>& in) const {
+    if (in.size() != new_of_old_.size())
+      throw std::invalid_argument("Permutation::to_old_space: size mismatch");
+    std::vector<L> out(in.size());
+    for (std::size_t v = 0; v < in.size(); ++v) {
+      out[v] = in[static_cast<std::size_t>(new_of_old_[v])];
+    }
+    return out;
+  }
+
+ private:
+  std::vector<vidx_t> new_of_old_;
+  std::vector<vidx_t> old_of_new_;
+};
+
+/// Pattern bandwidth max |row − col| — the quantity RCM-style orderings
+/// minimize; the order.bandwidth_* metrics report it before/after.
+inline std::uint64_t pattern_bandwidth(
+    const sparse::Triples<vidx_t, val_t>& t) {
+  std::uint64_t bw = 0;
+  for (const auto& e : t) {
+    const auto d = e.row > e.col ? e.row - e.col : e.col - e.row;
+    bw = std::max(bw, static_cast<std::uint64_t>(d));
+  }
+  return bw;
+}
+
+inline std::uint64_t pattern_bandwidth(const sparse::Csc<vidx_t, val_t>& a) {
+  std::uint64_t bw = 0;
+  for (vidx_t j = 0; j < a.ncols(); ++j) {
+    for (const vidx_t i : a.col_rows(j)) {
+      const auto d = i > j ? i - j : j - i;
+      bw = std::max(bw, static_cast<std::uint64_t>(d));
+    }
+  }
+  return bw;
+}
+
+}  // namespace mclx::order

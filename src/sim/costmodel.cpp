@@ -61,6 +61,13 @@ vtime_t CostModel::local_spgemm(spgemm::KernelKind kind, std::uint64_t flops,
       // bench_micro_kernels scalar-vs-SIMD ratio on AVX2).
       return f / (m_.cpu_core_rate_flops / m_.work_scale * cpu_threads() *
                   simd_rate_scale);
+    case spgemm::KernelKind::kCpuHashReord:
+      // Scalar probing over cache-resident blocked tables on reordered
+      // operands. Like simd_rate_scale a fixed model constant (never
+      // runtime cache probing), calibrated against BM_PlantedAccumReord
+      // vs BM_PlantedAccumScalar on the hit-dominated planted workload.
+      return f / (m_.cpu_core_rate_flops / m_.work_scale * cpu_threads() *
+                  reord_rate_scale);
     case spgemm::KernelKind::kCpuSpa:
       // SPA pays O(nrows) column resets; model as hash with a 15% haircut.
       return 1.15 * f / (m_.cpu_core_rate_flops / m_.work_scale * cpu_threads());

@@ -78,6 +78,10 @@ class CostModel {
   /// cpu-hash-par. A fixed model constant (not runtime ISA detection:
   /// virtual time must not depend on the machine running the gate).
   double simd_rate_scale = 1.6;
+  /// Throughput factor of cpu-hash-reord over cpu-hash-par on reordered
+  /// hit-dominated operands (blocked cache-resident scalar probing).
+  /// Fixed constant for the same machine-independence reason.
+  double reord_rate_scale = 1.35;
   double merge_rate_elems = 1.2e9; ///< merged elems/s/core
   double prune_rate = 3e9;        ///< entries/s/core
   double inflate_rate = 1.5e9;    ///< entries/s/core

@@ -1,0 +1,199 @@
+// Locality-blocked hash SpGEMM core, shared by the SIMD kernel
+// (hash_simd.hpp) and the reordering kernel (hash_reord.hpp). The
+// structure is the estimate-driven accumulator-locality pass of
+// arXiv:2507.21253: flops-balanced lanes on the shared pool, each lane
+// cutting its column range into blocks whose summed output bytes fit a
+// cache budget, with the probe table re-targeted per block to the sizes
+// the Cohen estimate (or the exact symbolic counts) predicts. Only the
+// accumulator type varies between callers — vectorized group probing vs
+// scalar linear probing — which is exactly the probe-scheme freedom the
+// determinism contract allows: per column the accumulate() call order
+// is the scalar kernel's and extraction sorts by row id, so the output
+// is bitwise hash_spgemm's for every Table, block size and thread
+// count (docs/KERNELS.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/mem.hpp"
+#include "sparse/csc.hpp"
+#include "spgemm/hash_parallel.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/parallel.hpp"
+
+namespace mclx::spgemm {
+
+/// Tuning knobs shared by the blocked kernels. The per-column size
+/// hints come from the Cohen estimate when the caller has one (audited
+/// against measured actuals by the `estimate.unpruned_nnz` rel_error
+/// channel); otherwise the exact symbolic counts — computed anyway for
+/// the disjoint output offsets — drive the sizing directly.
+struct BlockedOptions {
+  int nthreads = 0;  ///< <= 0 picks the configured pool width
+  /// Estimated nnz per output column (e.g. CohenEstimate::per_col for
+  /// C = A·B). Sizes the accumulator ahead of the exact counts; columns
+  /// where the estimate undershoots grow the table on entry.
+  const std::vector<double>* est_per_col = nullptr;
+  double est_safety = 1.5;  ///< headroom multiplier on the estimate
+  /// Per-lane column-block working-set budget (table bytes). Blocks are
+  /// cut so the sum of per-column output bytes stays under this, keeping
+  /// the probe table sized to the block actually in flight.
+  std::size_t block_bytes = 256 * 1024;
+};
+
+/// Per-call statistics, folded by the calling thread after the join
+/// (the metrics registry is not thread-safe; callers translate these
+/// into their kernel.* namespaces).
+struct BlockedStats {
+  std::uint64_t est_undersized = 0;  ///< columns where the hint undershot
+  std::uint64_t blocks = 0;          ///< cache-budgeted blocks cut
+  std::uint64_t peak_table_bytes = 0;  ///< largest per-lane table
+};
+
+/// C = A * B through a per-lane `Table` accumulator (the HashAccumulator
+/// family: reset_capacity / ensure_capacity / capacity_slots /
+/// accumulate / extract_sorted / clear_touched).
+template <typename Table, typename IT, typename VT>
+sparse::Csc<IT, VT> blocked_hash_spgemm(const sparse::Csc<IT, VT>& a,
+                                        const sparse::Csc<IT, VT>& b,
+                                        const BlockedOptions& opts,
+                                        BlockedStats* stats = nullptr) {
+  if (a.ncols() != b.nrows())
+    throw std::invalid_argument("blocked_hash_spgemm: dimension mismatch");
+  int nthreads = opts.nthreads > 0 ? opts.nthreads : par::threads();
+  const IT ncols = b.ncols();
+  nthreads = std::max(1, std::min<int>(nthreads, static_cast<int>(
+                                                     std::max<IT>(ncols, 1))));
+  const std::size_t entry_bytes = sizeof(IT) + sizeof(VT);
+
+  // Exact per-column output sizes: disjoint output offsets for the lanes
+  // and the correctness floor for the accumulator sizing.
+  const auto per_col = symbolic_nnz_per_col(a, b);
+  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
+  for (IT j = 0; j < ncols; ++j) {
+    colptr[static_cast<std::size_t>(j) + 1] =
+        colptr[static_cast<std::size_t>(j)] +
+        static_cast<IT>(per_col[static_cast<std::size_t>(j)]);
+  }
+  const auto nnz = static_cast<std::size_t>(colptr.back());
+  std::vector<IT> rowids(nnz);
+  std::vector<VT> vals(nnz);
+  if (ncols == 0) {
+    return sparse::Csc<IT, VT>(a.nrows(), ncols, std::move(colptr),
+                               std::move(rowids), std::move(vals));
+  }
+
+  const auto bounds = detail::partition_columns_by_flops(a, b, nthreads);
+
+  // Per-column table-size hint: the (safety-scaled) estimate when
+  // provided, else the exact count.
+  auto hint = [&](IT j) -> std::size_t {
+    const auto exact =
+        static_cast<std::size_t>(per_col[static_cast<std::size_t>(j)]);
+    if (!opts.est_per_col) return exact;
+    const double est =
+        opts.est_safety * (*opts.est_per_col)[static_cast<std::size_t>(j)];
+    return est > 0 ? static_cast<std::size_t>(est) + 1 : 1;
+  };
+
+  // Per-lane stats, folded after the join.
+  std::vector<std::uint64_t> lane_peak_bytes(
+      static_cast<std::size_t>(nthreads), 0);
+  std::vector<std::uint64_t> lane_undersized(
+      static_cast<std::size_t>(nthreads), 0);
+  std::vector<std::uint64_t> lane_blocks(static_cast<std::size_t>(nthreads),
+                                         0);
+
+  auto worker = [&](int t, IT j0, IT j1) {
+    Table table;
+    obs::MemScope table_mem("spgemm.hash_table", 0);
+    std::uint64_t charged = 0;
+
+    std::vector<IT> local_rows;
+    std::vector<VT> local_vals;
+    IT blk = j0;
+    while (blk < j1) {
+      // Cut the block: consecutive columns until the summed output bytes
+      // exceed the budget (always at least one column).
+      IT blk_end = blk;
+      std::size_t blk_bytes = 0;
+      std::size_t blk_max_hint = 0;
+      while (blk_end < j1) {
+        const std::size_t h = hint(blk_end);
+        if (blk_end > blk && blk_bytes + h * entry_bytes > opts.block_bytes)
+          break;
+        blk_bytes += h * entry_bytes;
+        blk_max_hint = std::max(blk_max_hint, h);
+        ++blk_end;
+      }
+      table.reset_capacity(blk_max_hint);
+      ++lane_blocks[static_cast<std::size_t>(t)];
+
+      for (IT j = blk; j < blk_end; ++j) {
+        // The exact count is the correctness floor: grow (and count the
+        // undershoot) when the estimate was too small.
+        const auto exact =
+            static_cast<std::size_t>(per_col[static_cast<std::size_t>(j)]);
+        if (2 * exact > table.capacity_slots()) {
+          table.ensure_capacity(exact);
+          if (opts.est_per_col) ++lane_undersized[static_cast<std::size_t>(t)];
+        }
+        if (table.capacity_bytes() > charged) {
+          table_mem.add(table.capacity_bytes() - charged);
+          charged = table.capacity_bytes();
+        }
+        lane_peak_bytes[static_cast<std::size_t>(t)] =
+            std::max(lane_peak_bytes[static_cast<std::size_t>(t)],
+                     table.capacity_bytes());
+
+        const auto bk = b.col_rows(j);
+        const auto bv = b.col_vals(j);
+        for (std::size_t p = 0; p < bk.size(); ++p) {
+          const IT k = bk[p];
+          const VT scale = bv[p];
+          const auto ar = a.col_rows(k);
+          const auto av = a.col_vals(k);
+          for (std::size_t q = 0; q < ar.size(); ++q) {
+            table.accumulate(ar[q], av[q] * scale);
+          }
+        }
+        local_rows.clear();
+        local_vals.clear();
+        table.extract_sorted(local_rows, local_vals);
+        table.clear_touched();
+        const auto dst =
+            static_cast<std::size_t>(colptr[static_cast<std::size_t>(j)]);
+        std::copy(local_rows.begin(), local_rows.end(), rowids.begin() + dst);
+        std::copy(local_vals.begin(), local_vals.end(), vals.begin() + dst);
+      }
+      blk = blk_end;
+    }
+  };
+
+  if (nthreads == 1) {
+    worker(0, IT{0}, ncols);
+  } else {
+    par::pool().run(nthreads, [&](int t) {
+      worker(t, bounds[static_cast<std::size_t>(t)],
+             bounds[static_cast<std::size_t>(t) + 1]);
+    });
+  }
+
+  if (stats) {
+    for (int t = 0; t < nthreads; ++t) {
+      stats->est_undersized += lane_undersized[static_cast<std::size_t>(t)];
+      stats->blocks += lane_blocks[static_cast<std::size_t>(t)];
+      stats->peak_table_bytes =
+          std::max(stats->peak_table_bytes,
+                   lane_peak_bytes[static_cast<std::size_t>(t)]);
+    }
+  }
+
+  return sparse::Csc<IT, VT>(a.nrows(), ncols, std::move(colptr),
+                             std::move(rowids), std::move(vals));
+}
+
+}  // namespace mclx::spgemm

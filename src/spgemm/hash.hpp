@@ -37,6 +37,23 @@ class HashAccumulator {
     }
   }
 
+  /// Grow-or-shrink to the exact capacity for `max_entries` (load factor
+  /// ≤ 1/2). The blocked kernels (spgemm/blocked.hpp) re-target the
+  /// table per column block so the probe working set tracks the block's
+  /// real output size — resizing *down* is the point.
+  void reset_capacity(std::size_t max_entries) {
+    const std::size_t want =
+        std::bit_ceil(std::max<std::size_t>(2 * max_entries, 16));
+    if (want == slots_.size()) return;
+    slots_.assign(want, Slot{});
+    mask_ = want - 1;
+  }
+
+  /// Grow-only guard (used per column when the size hint undershot).
+  void ensure_capacity(std::size_t max_entries) {
+    resize_for(max_entries);
+  }
+
   void clear_touched() {
     for (const std::size_t s : touched_) slots_[s] = Slot{};
     touched_.clear();
@@ -67,6 +84,8 @@ class HashAccumulator {
   std::uint64_t capacity_bytes() const {
     return static_cast<std::uint64_t>(slots_.size()) * sizeof(Slot);
   }
+
+  std::size_t capacity_slots() const { return slots_.size(); }
 
   /// Append (sorted by row) entries into the output arrays.
   void extract_sorted(std::vector<IT>& rowids, std::vector<VT>& vals) {

@@ -1,0 +1,81 @@
+// Reordering-aware hash SpGEMM — the locality-blocked kernel for
+// operands that have been permuted by the order/ subsystem
+// (arXiv:2507.21253's cluster-wise computation). Same blocked core as
+// the SIMD kernel, opposite probe choice: in the hit-dominated regime a
+// reordered operand concentrates each block's products on a small,
+// contiguous row window, so a *scalar* linear-probing table that stays
+// cache-resident beats group probing — the PR 6 micro benches showed
+// the SoA/SIMD accumulator losing exactly there (docs/PERFORMANCE.md
+// "Reordering & locality"). The hybrid policy routes to this kernel
+// when the operands are marked reordered and the cf estimate predicts
+// hits dominate (HybridPolicy::simd_hit_cf_threshold).
+//
+// Variants: nthreads = 1 is the scalar variant, > 1 the pooled one, and
+// simd_probe = true swaps in the SoA group-probing accumulator (the
+// SIMD variant) for insert-leaning reordered workloads. All variants
+// are bitwise equal to hash_spgemm — per column the accumulate() order
+// is the scalar kernel's and extraction sorts by row id, so the probe
+// scheme never shows in the output (docs/KERNELS.md step 9).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "spgemm/blocked.hpp"
+#include "spgemm/hash.hpp"
+#include "spgemm/hash_simd.hpp"
+
+namespace mclx::spgemm {
+
+struct ReordSpgemmOptions {
+  int nthreads = 0;  ///< <= 0 picks the configured pool width
+  /// Estimated nnz per output column (CohenEstimate::per_col); exact
+  /// symbolic counts used when absent. Same plumbing as the SIMD kernel.
+  const std::vector<double>* est_per_col = nullptr;
+  double est_safety = 1.5;
+  /// Tighter default budget than the SIMD kernel's 256 KiB: the win in
+  /// the hit-dominated regime comes from the probe table staying
+  /// L1/L2-resident, and reordered operands make small blocks cheap
+  /// (few columns straddle a locality window). Measured crossover in
+  /// bench_micro_kernels BM_PlantedAccumReord.
+  std::size_t block_bytes = 64 * 1024;
+  /// Use the SoA group-probing accumulator instead of the scalar
+  /// linear-probing one (the kernel's SIMD variant).
+  bool simd_probe = false;
+};
+
+/// C = A * B with scalar linear-probing accumulation over cache-budgeted
+/// column blocks. Bitwise equal to hash_spgemm at any thread count,
+/// block budget and probe variant.
+template <typename IT, typename VT>
+sparse::Csc<IT, VT> reord_hash_spgemm(const sparse::Csc<IT, VT>& a,
+                                      const sparse::Csc<IT, VT>& b,
+                                      const ReordSpgemmOptions& opts = {}) {
+  if (a.ncols() != b.nrows())
+    throw std::invalid_argument("reord_hash_spgemm: dimension mismatch");
+  BlockedOptions core;
+  core.nthreads = opts.nthreads;
+  core.est_per_col = opts.est_per_col;
+  core.est_safety = opts.est_safety;
+  core.block_bytes = opts.block_bytes;
+  BlockedStats stats;
+  sparse::Csc<IT, VT> c =
+      opts.simd_probe
+          ? blocked_hash_spgemm<detail::SimdHashAccumulator<IT, VT>>(
+                a, b, core, &stats)
+          : blocked_hash_spgemm<detail::HashAccumulator<IT, VT>>(a, b, core,
+                                                                 &stats);
+
+  if (obs::metrics()) {
+    obs::count("kernel.reord.spgemm_calls");
+    if (stats.est_undersized)
+      obs::count("kernel.reord.est_undersized", stats.est_undersized);
+    obs::count("kernel.reord.blocks", stats.blocks);
+    obs::observe("kernel.reord.accumulator_bytes",
+                 static_cast<double>(stats.peak_table_bytes));
+  }
+  return c;
+}
+
+}  // namespace mclx::spgemm

@@ -24,6 +24,7 @@
 
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "spgemm/blocked.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
 #include "spgemm/symbolic.hpp"
@@ -157,6 +158,8 @@ class SimdHashAccumulator {
            (sizeof(IT) + sizeof(VT));
   }
 
+  std::size_t capacity_slots() const { return rows_.size(); }
+
   /// Append (sorted by row) entries into the output arrays.
   void extract_sorted(std::vector<IT>& rowids, std::vector<VT>& vals) {
     scratch_.clear();
@@ -212,153 +215,35 @@ struct SimdSpgemmOptions {
 };
 
 /// C = A * B with the SoA group-probing accumulator, flops-balanced
-/// lanes on the shared pool, and cache-budgeted column blocking.
-/// Bitwise equal to hash_spgemm at any thread count and backend.
+/// lanes on the shared pool, and cache-budgeted column blocking (the
+/// shared spgemm/blocked.hpp core). Bitwise equal to hash_spgemm at any
+/// thread count and backend.
 template <typename IT, typename VT>
 sparse::Csc<IT, VT> simd_hash_spgemm(const sparse::Csc<IT, VT>& a,
                                      const sparse::Csc<IT, VT>& b,
                                      const SimdSpgemmOptions& opts = {}) {
   if (a.ncols() != b.nrows())
     throw std::invalid_argument("simd_hash_spgemm: dimension mismatch");
-  int nthreads = opts.nthreads > 0 ? opts.nthreads : par::threads();
-  const IT ncols = b.ncols();
-  nthreads = std::max(1, std::min<int>(nthreads, static_cast<int>(
-                                                     std::max<IT>(ncols, 1))));
-  const std::size_t entry_bytes = sizeof(IT) + sizeof(VT);
-
-  // Exact per-column output sizes: disjoint output offsets for the lanes
-  // and the correctness floor for the accumulator sizing.
-  const auto per_col = symbolic_nnz_per_col(a, b);
-  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, 0);
-  for (IT j = 0; j < ncols; ++j) {
-    colptr[static_cast<std::size_t>(j) + 1] =
-        colptr[static_cast<std::size_t>(j)] +
-        static_cast<IT>(per_col[static_cast<std::size_t>(j)]);
-  }
-  const auto nnz = static_cast<std::size_t>(colptr.back());
-  std::vector<IT> rowids(nnz);
-  std::vector<VT> vals(nnz);
-  if (ncols == 0) {
-    return sparse::Csc<IT, VT>(a.nrows(), ncols, std::move(colptr),
-                               std::move(rowids), std::move(vals));
-  }
-
-  const auto bounds = detail::partition_columns_by_flops(a, b, nthreads);
-
-  // Per-column table-size hint: the (safety-scaled) Cohen estimate when
-  // provided, else the exact count.
-  auto hint = [&](IT j) -> std::size_t {
-    const auto exact =
-        static_cast<std::size_t>(per_col[static_cast<std::size_t>(j)]);
-    if (!opts.est_per_col) return exact;
-    const double est =
-        opts.est_safety * (*opts.est_per_col)[static_cast<std::size_t>(j)];
-    return est > 0 ? static_cast<std::size_t>(est) + 1 : 1;
-  };
-
-  // Per-lane stats, folded into the (not thread-safe) metrics registry
-  // by the calling thread after the join.
-  std::vector<std::uint64_t> lane_peak_bytes(
-      static_cast<std::size_t>(nthreads), 0);
-  std::vector<std::uint64_t> lane_undersized(
-      static_cast<std::size_t>(nthreads), 0);
-  std::vector<std::uint64_t> lane_blocks(static_cast<std::size_t>(nthreads),
-                                         0);
-
-  auto worker = [&](int t, IT j0, IT j1) {
-    detail::SimdHashAccumulator<IT, VT> table;
-    obs::MemScope table_mem("spgemm.hash_table", 0);
-    std::uint64_t charged = 0;
-
-    std::vector<IT> local_rows;
-    std::vector<VT> local_vals;
-    IT blk = j0;
-    while (blk < j1) {
-      // Cut the block: consecutive columns until the summed output bytes
-      // exceed the budget (always at least one column).
-      IT blk_end = blk;
-      std::size_t blk_bytes = 0;
-      std::size_t blk_max_hint = 0;
-      while (blk_end < j1) {
-        const std::size_t h = hint(blk_end);
-        if (blk_end > blk && blk_bytes + h * entry_bytes > opts.block_bytes)
-          break;
-        blk_bytes += h * entry_bytes;
-        blk_max_hint = std::max(blk_max_hint, h);
-        ++blk_end;
-      }
-      table.reset_capacity(blk_max_hint);
-      ++lane_blocks[static_cast<std::size_t>(t)];
-
-      for (IT j = blk; j < blk_end; ++j) {
-        // The exact count is the correctness floor: grow (and count the
-        // undershoot) when the estimate was too small.
-        const auto exact =
-            static_cast<std::size_t>(per_col[static_cast<std::size_t>(j)]);
-        if (2 * exact > table.capacity_bytes() / entry_bytes) {
-          table.ensure_capacity(exact);
-          if (opts.est_per_col) ++lane_undersized[static_cast<std::size_t>(t)];
-        }
-        if (table.capacity_bytes() > charged) {
-          table_mem.add(table.capacity_bytes() - charged);
-          charged = table.capacity_bytes();
-        }
-        lane_peak_bytes[static_cast<std::size_t>(t)] =
-            std::max(lane_peak_bytes[static_cast<std::size_t>(t)],
-                     table.capacity_bytes());
-
-        const auto bk = b.col_rows(j);
-        const auto bv = b.col_vals(j);
-        for (std::size_t p = 0; p < bk.size(); ++p) {
-          const IT k = bk[p];
-          const VT scale = bv[p];
-          const auto ar = a.col_rows(k);
-          const auto av = a.col_vals(k);
-          for (std::size_t q = 0; q < ar.size(); ++q) {
-            table.accumulate(ar[q], av[q] * scale);
-          }
-        }
-        local_rows.clear();
-        local_vals.clear();
-        table.extract_sorted(local_rows, local_vals);
-        table.clear_touched();
-        const auto dst =
-            static_cast<std::size_t>(colptr[static_cast<std::size_t>(j)]);
-        std::copy(local_rows.begin(), local_rows.end(), rowids.begin() + dst);
-        std::copy(local_vals.begin(), local_vals.end(), vals.begin() + dst);
-      }
-      blk = blk_end;
-    }
-  };
-
-  if (nthreads == 1) {
-    worker(0, IT{0}, ncols);
-  } else {
-    par::pool().run(nthreads, [&](int t) {
-      worker(t, bounds[static_cast<std::size_t>(t)],
-             bounds[static_cast<std::size_t>(t) + 1]);
-    });
-  }
+  BlockedOptions core;
+  core.nthreads = opts.nthreads;
+  core.est_per_col = opts.est_per_col;
+  core.est_safety = opts.est_safety;
+  core.block_bytes = opts.block_bytes;
+  BlockedStats stats;
+  auto c = blocked_hash_spgemm<detail::SimdHashAccumulator<IT, VT>>(
+      a, b, core, &stats);
 
   if (obs::metrics()) {
     obs::count("kernel.simd.spgemm_calls");
     obs::count(std::string("kernel.simd.backend.") +
                std::string(simd::backend()));
-    std::uint64_t undersized = 0;
-    std::uint64_t blocks = 0;
-    std::uint64_t peak = 0;
-    for (int t = 0; t < nthreads; ++t) {
-      undersized += lane_undersized[static_cast<std::size_t>(t)];
-      blocks += lane_blocks[static_cast<std::size_t>(t)];
-      peak = std::max(peak, lane_peak_bytes[static_cast<std::size_t>(t)]);
-    }
-    if (undersized) obs::count("kernel.simd.est_undersized", undersized);
-    obs::count("kernel.simd.blocks", blocks);
-    obs::observe("kernel.simd.accumulator_bytes", static_cast<double>(peak));
+    if (stats.est_undersized)
+      obs::count("kernel.simd.est_undersized", stats.est_undersized);
+    obs::count("kernel.simd.blocks", stats.blocks);
+    obs::observe("kernel.simd.accumulator_bytes",
+                 static_cast<double>(stats.peak_table_bytes));
   }
-
-  return sparse::Csc<IT, VT>(a.nrows(), ncols, std::move(colptr),
-                             std::move(rowids), std::move(vals));
+  return c;
 }
 
 }  // namespace mclx::spgemm

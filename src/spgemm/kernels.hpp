@@ -12,6 +12,8 @@ enum class KernelKind {
   kCpuHashParallel, ///< hash accumulation on the shared thread pool
   kCpuHashSimd,     ///< pooled SoA hash kernel with vectorized probing
                     ///< and estimate-sized column blocking (hash_simd.hpp)
+  kCpuHashReord,    ///< locality-blocked scalar-probe kernel for
+                    ///< reordered operands (hash_reord.hpp)
   kCpuSpa,          ///< dense-accumulator reference (testing only)
   kGpuBhsparse,     ///< ESC (expand-sort-compress) on the device
   kGpuNsparse,      ///< device hash tables — wins at large cf
@@ -24,6 +26,7 @@ inline constexpr std::string_view kernel_name(KernelKind k) {
     case KernelKind::kCpuHash: return "cpu-hash";
     case KernelKind::kCpuHashParallel: return "cpu-hash-par";
     case KernelKind::kCpuHashSimd: return "cpu-hash-simd";
+    case KernelKind::kCpuHashReord: return "cpu-hash-reord";
     case KernelKind::kCpuSpa: return "cpu-spa";
     case KernelKind::kGpuBhsparse: return "bhsparse";
     case KernelKind::kGpuNsparse: return "nsparse";

@@ -6,6 +6,7 @@
 #include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
+#include "spgemm/hash_reord.hpp"
 #include "spgemm/hash_simd.hpp"
 #include "spgemm/heap.hpp"
 #include "spgemm/spa.hpp"
@@ -34,11 +35,25 @@ KernelKind HybridPolicy::select(std::uint64_t flops, double cf_estimate,
                                 bool gpu_available, int pool_threads) const {
   const double cf = cf_estimate > 0 ? cf_estimate : 8.0;  // neutral default
   if (!gpu_available || flops < min_gpu_flops) {
+    // hits/inserts = cf − 1: a *known* cf at or above the threshold
+    // predicts the hit-dominated regime, where group probing loses
+    // (the PR 6 regression this policy now routes around). The neutral
+    // default is deliberately exempt — unknown cf keeps the simd
+    // preference rather than guessing the losing regime.
+    const bool hit_dominated =
+        cf_estimate > 0 && cf_estimate >= simd_hit_cf_threshold;
+    const bool reord_wins =
+        reordered && hit_dominated && flops >= min_reord_flops;
     if (pool_threads > 1 && flops >= min_parallel_flops) {
-      if (use_simd && flops >= min_simd_flops)
+      if (reord_wins) return KernelKind::kCpuHashReord;
+      if (use_simd && flops >= min_simd_flops && !hit_dominated)
         return KernelKind::kCpuHashSimd;
       return KernelKind::kCpuHashParallel;
     }
+    // Single-lane regime: the blocked kernel's scalar variant still wins
+    // on reordered hit-dominated multiplies (small cache-resident table
+    // vs the flops-bound one), so it is selectable without a pool.
+    if (reord_wins) return KernelKind::kCpuHashReord;
     return cf < cpu_cf_threshold ? KernelKind::kCpuHeap
                                  : KernelKind::kCpuHash;
   }
@@ -72,6 +87,9 @@ LocalSpgemmResult LocalMultiplier::run_cpu(KernelKind kind, const CscD& a,
       break;
     case KernelKind::kCpuHashSimd:
       r.c = simd_hash_spgemm(a, b);
+      break;
+    case KernelKind::kCpuHashReord:
+      r.c = reord_hash_spgemm(a, b);
       break;
     case KernelKind::kCpuSpa:
       r.c = spa_spgemm(a, b);

@@ -51,6 +51,24 @@ struct HybridPolicy {
   /// always *available* (fixed selection and the scalar-spec fallback
   /// work in every build); this only controls the policy's preference.
   bool use_simd = true;
+  /// Hit-dominated crossover: per output entry, hits/inserts = cf − 1,
+  /// so a *known* cf estimate at or above this threshold predicts that
+  /// ≥ 2/3 of accumulates land on occupied slots — the regime where the
+  /// PR 6 micro benches showed group probing *losing* to scalar linear
+  /// probing (BM_PlantedAccumScalar/Simd on the "family" workload).
+  /// There the policy routes away from cpu-hash-simd: to cpu-hash-reord
+  /// when the operands are reordered, else cpu-hash-par. Unknown cf
+  /// (<= 0) keeps the previous simd preference. Re-measure with
+  /// bench_micro_kernels (docs/KERNELS.md step 9) before tuning.
+  double simd_hit_cf_threshold = 3.0;
+  /// Flops floor for cpu-hash-reord: below it the symbolic pass and
+  /// block bookkeeping outweigh the locality win.
+  std::uint64_t min_reord_flops = 1'000'000;
+  /// Set by the pipeline when the operands were permuted by the order/
+  /// subsystem (HipMclConfig::ordering): unlocks cpu-hash-reord in the
+  /// hit-dominated regime. The kernel is correct on any operand; the
+  /// flag only records that the locality premise actually holds.
+  bool reordered = false;
 
   /// `pool_threads` is the rank's thread-pool width (par::threads());
   /// the default of 1 keeps single-threaded callers on the sequential

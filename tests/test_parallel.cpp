@@ -253,11 +253,16 @@ TEST(HybridSelection, PoolWidthGatesTheParallelKernel) {
   spgemm::HybridPolicy policy;
   // Above the flops bar with a multi-thread pool: pooled SIMD kernel
   // (same fixed-lane results as cpu-hash-par, vectorized probing).
-  EXPECT_EQ(policy.select(2'000'000, 8.0, false, 4),
+  // cf 2 keeps the multiply in the insert-dominated regime where the
+  // SIMD kernel is preferred; hit-dominated cf routes to the plain
+  // pooled kernel instead (tests/test_order.cpp pins that).
+  EXPECT_EQ(policy.select(2'000'000, 2.0, false, 4),
             spgemm::KernelKind::kCpuHashSimd);
+  EXPECT_EQ(policy.select(2'000'000, 8.0, false, 4),
+            spgemm::KernelKind::kCpuHashParallel);
   // With SIMD routing disabled the plain pooled kernel is selected.
   policy.use_simd = false;
-  EXPECT_EQ(policy.select(2'000'000, 8.0, false, 4),
+  EXPECT_EQ(policy.select(2'000'000, 2.0, false, 4),
             spgemm::KernelKind::kCpuHashParallel);
   policy.use_simd = true;
   // Single-threaded pool: sequential split, whatever the flops.

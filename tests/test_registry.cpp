@@ -152,6 +152,8 @@ TEST(KernelNames, AreStable) {
   EXPECT_EQ(spgemm::kernel_name(KernelKind::kCpuHashParallel),
             "cpu-hash-par");
   EXPECT_EQ(spgemm::kernel_name(KernelKind::kCpuHashSimd), "cpu-hash-simd");
+  EXPECT_EQ(spgemm::kernel_name(KernelKind::kCpuHashReord),
+            "cpu-hash-reord");
   EXPECT_EQ(spgemm::kernel_name(KernelKind::kGpuNsparse), "nsparse");
   EXPECT_EQ(spgemm::kernel_name(KernelKind::kGpuBhsparse), "bhsparse");
   EXPECT_EQ(spgemm::kernel_name(KernelKind::kGpuRmerge2), "rmerge2");

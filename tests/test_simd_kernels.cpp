@@ -258,17 +258,20 @@ TEST(SimdSpgemm, DegenerateShapes) {
 
 TEST(SimdRegistry, HybridPolicyRoutesByPoolWidth) {
   const spgemm::HybridPolicy policy;
-  // 1 thread: sequential kernel regardless of flops.
-  EXPECT_EQ(policy.select(5'000'000, 8.0, false, 1), KernelKind::kCpuHash);
+  // 1 thread: sequential kernel regardless of flops. cf 2 is insert-
+  // dominated — the regime where group probing wins (cf at or above
+  // simd_hit_cf_threshold routes away from the SIMD kernel instead;
+  // tests/test_order.cpp pins that side).
+  EXPECT_EQ(policy.select(5'000'000, 2.0, false, 1), KernelKind::kCpuHash);
   // 4 and 8 threads above both bars: the SIMD kernel.
-  EXPECT_EQ(policy.select(5'000'000, 8.0, false, 4),
+  EXPECT_EQ(policy.select(5'000'000, 2.0, false, 4),
             KernelKind::kCpuHashSimd);
-  EXPECT_EQ(policy.select(5'000'000, 8.0, false, 8),
+  EXPECT_EQ(policy.select(5'000'000, 2.0, false, 8),
             KernelKind::kCpuHashSimd);
   // Between the parallel bar and a raised SIMD bar: plain pooled kernel.
   spgemm::HybridPolicy raised;
   raised.min_simd_flops = 10'000'000;
-  EXPECT_EQ(raised.select(5'000'000, 8.0, false, 4),
+  EXPECT_EQ(raised.select(5'000'000, 2.0, false, 4),
             KernelKind::kCpuHashParallel);
 }
 
