@@ -16,8 +16,11 @@
 #include "gen/planted.hpp"
 #include "obs/expo.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/prof/hw_counters.hpp"
+#include "obs/prof/roofline.hpp"
 #include "order/order.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
 #include "spgemm/hash_reord.hpp"
@@ -102,8 +105,13 @@ int main(int argc, char** argv) try {
   // populated run registry — the --status-out cost per rewrite).
   // Version 7: the real.spgemm_reord_* fields (RCM ordering cost and the
   // blocked reordered kernel's wall time + bitmatch on the permuted
-  // operand).
-  w.field("schema_version", std::uint64_t{7});
+  // operand). Version 8: the `prof` block — hardware-counter backend and
+  // the per-kernel roofline audit on the hub workload. Counter values are
+  // machine-dependent (a different CPU has different caches), so the
+  // whole block is gate-ignored like "real." (perf_diff skips "prof.");
+  // unavailable counters land as -1 sentinels so the schema is stable
+  // across privileged and unprivileged runners.
+  w.field("schema_version", std::uint64_t{8});
   w.field("bench", "bench_regression");
 
   w.begin_object("workload");
@@ -178,10 +186,12 @@ int main(int argc, char** argv) try {
   // Distribution percentiles (all virtual/deterministic): the tails the
   // mean-only trajectory hides — merge widths, per-call SUMMA times,
   // broadcast payloads. The pool.* histograms are measured wall time —
-  // machine noise — so they stay out of the gated block.
+  // machine noise — so they stay out of the gated block, and so does
+  // anything "prof." (hardware-counter evidence, equally machine-bound).
   w.begin_object("distributions");
   for (const auto& [name, hist] : registry.histograms()) {
     if (name.rfind("pool.", 0) == 0) continue;
+    if (name.rfind("prof.", 0) == 0) continue;
     w.begin_object(name);
     w.field("count", hist.count());
     w.field("p50", hist.p50());
@@ -336,6 +346,67 @@ int main(int argc, char** argv) try {
     w.field("status_export_s", expo_wall.elapsed_s());
     w.field("status_export_bytes",
             static_cast<std::uint64_t>(status_text.size()));
+    w.end_object();
+  }
+
+  // Roofline audit (schema v8, gate-ignored "prof."): the three routed
+  // CPU hash kernels on the hub workload — the heavy-tailed regime whose
+  // flops-bound table sizing spills L2, i.e. exactly where the SIMD and
+  // reordered routing constants claim their DRAM-traffic advantage
+  // (docs/COSTMODEL.md "Roofline audit"). Counter windows joined with
+  // the frozen bytes/flop predictions via obs::publish_roofline; on the
+  // no-op backend every measured channel is a -1 sentinel.
+  {
+    gen::PlantedParams hp;
+    hp.n = 8000;
+    hp.seed = 5;
+    hp.mean_family = 80.0;
+    hp.max_family = 800;
+    const auto hub = sparse::csc_from_triples(gen::planted_partition(hp).edges);
+    const std::uint64_t hub_flops = sparse::spgemm_flops(hub, hub);
+
+    obs::MetricsRegistry prof_registry;
+    std::uint64_t audit_nnz = 0;  // keep the kernels observable
+    const auto window = [&](const char* kernel, auto&& fn) {
+      obs::HwCounters counters;
+      counters.start();
+      audit_nnz += fn().nnz();
+      counters.stop();
+      obs::publish_roofline(prof_registry, kernel, hub_flops, counters.read());
+    };
+    window("cpu-hash", [&] { return spgemm::hash_spgemm(hub, hub); });
+    window("cpu-hash-simd", [&] { return spgemm::simd_hash_spgemm(hub, hub); });
+    const auto rcm = order::compute_order(order::OrderKind::kRcm, hub);
+    const auto hub_rcm = rcm.apply_symmetric(hub);  // flops are permutation-invariant
+    window("cpu-hash-reord",
+           [&] { return spgemm::reord_hash_spgemm(hub_rcm, hub_rcm); });
+
+    const obs::HwCounters probe;
+    w.begin_object("prof");
+    w.field("backend", probe.backend());
+    w.field("available", probe.available());
+    w.begin_object("workload");
+    w.field("generator", "planted_partition_hub");
+    w.field("vertices", static_cast<std::uint64_t>(hub.nrows()));
+    w.field("flops", hub_flops);
+    w.field("audit_nnz", audit_nnz);
+    w.end_object();
+    w.begin_object("hw");
+    for (const char* kernel : {"cpu-hash", "cpu-hash-simd", "cpu-hash-reord"}) {
+      const auto channel = [&](const std::string& name) {
+        const obs::Accumulator* a = prof_registry.accumulator(
+            "prof.hw." + std::string(kernel) + "." + name);
+        return a != nullptr ? a->mean() : -1.0;
+      };
+      w.begin_object(kernel, obs::JsonWriter::Style::kCompact);
+      w.field("bytes_per_flop_predicted", channel("bytes_per_flop.predicted"));
+      w.field("bytes_per_flop_measured", channel("bytes_per_flop.measured"));
+      w.field("bytes_per_flop_rel_error", channel("bytes_per_flop.rel_error"));
+      w.field("cycles_per_flop", channel("cycles_per_flop"));
+      w.field("l1d_miss_rate", channel("l1d_miss_rate"));
+      w.end_object();
+    }
+    w.end_object();
     w.end_object();
   }
 

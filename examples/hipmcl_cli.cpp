@@ -12,6 +12,7 @@
 //                [--order none|degree|rcm|cluster|env]
 //                [--metrics-out run.jsonl] [--trace-out run.trace.json]
 //                [--trace-chrome run.chrome.json] [--analyze]
+//                [--prof] [--postmortem-dir dir]
 //
 // --metrics-out writes the run's JSONL RunReport (one record per MCL
 // iteration plus counters; schema in docs/OBSERVABILITY.md);
@@ -22,6 +23,18 @@
 // rank timelines; --analyze prints the trace analytics — overlap
 // efficiency (Table II), per-stage idle attribution (Table V) and the
 // critical path — without needing a trace viewer.
+//
+// --prof opens perf_event hardware-counter windows around every
+// pipeline stage and local-SpGEMM kernel dispatch (prof.hw.* metrics +
+// the roofline audit printed after the run; falls back to a no-op
+// backend when the platform forbids counting). --postmortem-dir arms
+// the flight recorder: fatal signals (SIGSEGV/SIGABRT) dump
+// <dir>/hipmcl_cli.crash.json from the signal handler, and an
+// interrupted run dumps <dir>/hipmcl_cli.postmortem.json. SIGINT is
+// graceful either way: the run stops at the next iteration boundary
+// and every requested output is still flushed (exit status 130).
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -59,6 +72,10 @@ mclx::core::HipMclConfig make_config(const std::string& name,
   return c;
 }
 
+std::atomic<bool> g_interrupted{false};
+
+void on_sigint(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -95,6 +112,12 @@ int main(int argc, char** argv) try {
   const bool analyze = cli.get_bool("analyze", false,
       "print trace analytics: overlap efficiency, idle attribution, "
       "critical path");
+  const bool prof = cli.get_bool("prof", false,
+      "hardware-counter profiling: per-stage and per-kernel perf_event "
+      "windows, roofline audit table (no-op fallback when unsupported)");
+  const std::string postmortem_dir = cli.get("postmortem-dir", "",
+      "arm the flight recorder: crash/interrupt post-mortem JSON dumps "
+      "land in this directory");
   const std::string log_level = cli.get("log", "warn",
       "debug|info|warn|error");
   const int nthreads = par::register_threads_flag(cli);
@@ -133,6 +156,18 @@ int main(int argc, char** argv) try {
         static_cast<bytes_t>(mem_gb * 1024.0 * 1024.0 * 1024.0);
   }
 
+  // Graceful SIGINT: flip a flag the run polls at iteration boundaries,
+  // so ^C stops the clustering but still flushes every requested output
+  // (metrics, traces, post-mortem) instead of dying mid-write.
+  std::signal(SIGINT, on_sigint);
+  {
+    const std::function<bool()> user_stop = config.should_stop;
+    config.should_stop = [user_stop] {
+      return g_interrupted.load(std::memory_order_relaxed) ||
+             (user_stop && user_stop());
+    };
+  }
+
   sim::SimState sim(config_name == "original"
                         ? sim::summit_like_cpu_only(nodes)
                         : sim::summit_like(nodes));
@@ -152,19 +187,52 @@ int main(int argc, char** argv) try {
     ledger.enable_timeline([&sim] { return sim.elapsed(); });
     ledger.set_process_sample_interval(64);
   }
+  // Always-on flight recorder; --postmortem-dir decides whether its
+  // contents ever reach disk (crash handler + end-of-run dump).
+  obs::FlightRecorder recorder;
+  if (!postmortem_dir.empty()) {
+    obs::install_crash_dump(&recorder,
+                            postmortem_dir + "/hipmcl_cli.crash.json");
+  }
+
+  // --prof: per-stage counter windows ride the on_stage hook; per-kernel
+  // windows are armed process-wide for the run's scope.
+  obs::StageHwProfiler stage_prof(&registry);
+  std::optional<obs::ScopedKernelProfiling> kernel_prof;
+  if (prof) {
+    kernel_prof.emplace();
+    const std::function<void(obs::RunStage)> user_stage = config.on_stage;
+    config.on_stage = [&stage_prof, user_stage](obs::RunStage s) {
+      stage_prof.on_stage(static_cast<int>(s));
+      if (user_stage) user_stage(s);
+    };
+  }
+
   core::MclResult result;
   {
     std::optional<obs::ScopedMetrics> metrics_scope;
     std::optional<sim::ScopedEventLog> trace_scope;
     std::optional<obs::ScopedMemLedger> ledger_scope;
-    if (!metrics_out.empty()) metrics_scope.emplace(registry);
+    obs::ScopedFlightRecorder recorder_scope(recorder);
+    if (!metrics_out.empty() || prof) metrics_scope.emplace(registry);
     if (!trace_out.empty() || !trace_chrome.empty() || analyze) {
       trace_scope.emplace(trace);
     }
     if (want_ledger) ledger_scope.emplace(ledger);
     result = core::run_hipmcl(network, params, config, sim);
   }
+  stage_prof.finish();
   if (want_ledger) ledger.publish(registry);
+
+  const bool interrupted = g_interrupted.load(std::memory_order_relaxed);
+  if (!postmortem_dir.empty()) {
+    obs::uninstall_crash_dump();
+    const std::string dump = postmortem_dir + "/hipmcl_cli.postmortem.json";
+    if (recorder.dump_file(dump, input.empty() ? "hipmcl_cli" : input,
+                           interrupted ? "signal:SIGINT" : "end-of-run")) {
+      std::cout << "wrote flight-recorder post-mortem to " << dump << "\n";
+    }
+  }
 
   if (!metrics_out.empty()) {
     obs::RunInfo info;
@@ -195,6 +263,42 @@ int main(int argc, char** argv) try {
   if (analyze) {
     obs::print_trace_analysis(std::cout, obs::analyze_trace(trace));
   }
+  if (prof) {
+    std::cout << "hw counters: "
+              << (stage_prof.available() ? "perf_event backend"
+                                         : "no-op backend (perf_event "
+                                           "unavailable; zeros below)")
+              << "\n";
+    util::Table t("Roofline audit (prof.hw.*, mean over windows)");
+    t.header({"kernel", "windows", "B/flop pred", "B/flop meas", "rel err",
+              "cyc/flop"});
+    const std::string kprefix = "prof.hw.kernel.";
+    for (const auto& [name, windows] : registry.counters()) {
+      if (name.rfind(kprefix, 0) != 0) continue;
+      const std::string suffix = ".windows";
+      if (name.size() <= kprefix.size() + suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      const std::string kernel = name.substr(
+          kprefix.size(), name.size() - kprefix.size() - suffix.size());
+      const auto mean_of = [&](const std::string& channel) {
+        const obs::Accumulator* a =
+            registry.accumulator("prof.hw." + kernel + "." + channel);
+        return a ? a->mean() : -1.0;
+      };
+      const auto cell = [](double v) {
+        return v < 0 ? std::string("-") : util::Table::fmt(v, 4);
+      };
+      t.row({kernel, std::to_string(windows),
+             cell(mean_of("bytes_per_flop.predicted")),
+             cell(mean_of("bytes_per_flop.measured")),
+             cell(mean_of("bytes_per_flop.rel_error")),
+             cell(mean_of("cycles_per_flop"))});
+    }
+    t.print(std::cout);
+  }
 
   std::cout << (result.converged ? "converged" : "hit iteration cap")
             << " after " << result.iterations << " iterations ("
@@ -220,6 +324,10 @@ int main(int argc, char** argv) try {
       }
     }
     std::cout << "wrote " << output << "\n";
+  }
+  if (interrupted) {
+    std::cout << "interrupted by SIGINT; outputs flushed\n";
+    return 130;  // the shell's SIGINT convention
   }
   return 0;
 } catch (const std::exception& e) {

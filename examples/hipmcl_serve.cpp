@@ -17,6 +17,15 @@
 // --watchdog-cancel, which cancels stalled/diverging jobs through the
 // scheduler's cooperative cancel.
 //
+// Post-mortems (docs/OBSERVABILITY.md "Profiling & post-mortems"):
+// --postmortem-dir arms every job's flight recorder; the watchdog dumps
+// `<dir>/<job>.postmortem.json` the first time it classifies a job
+// stalled/diverging, and GET /jobs reports each job's dump path. SIGINT
+// is a graceful shutdown: all jobs are cancelled cooperatively, the
+// loop keeps running until they settle, every requested output
+// (--metrics-out/--status-out) is still flushed, post-mortems for all
+// in-flight jobs are written, and the exit status is 130.
+//
 //   ./hipmcl_serve --manifest jobs.manifest
 //                  [--max-concurrent 2] [--out-dir .]
 //                  [--metrics-out svc.jsonl] [--threads 0]
@@ -24,10 +33,13 @@
 //                  [--status-interval-ms 500] [--status-linger-ms 0]
 //                  [--watch] [--watchdog] [--watchdog-slow-s 10]
 //                  [--watchdog-stall-s 60] [--watchdog-cancel]
+//                  [--postmortem-dir dumps/]
 //
 // Exit code 0 when every job reached done or cancelled; 1 when any job
-// failed (the per-job table shows the error).
+// failed (the per-job table shows the error); 130 on SIGINT.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -43,6 +55,12 @@
 namespace {
 
 using namespace mclx;
+
+// SIGINT → graceful shutdown: the live loop sees the flag, cancels all
+// jobs once, and keeps polling until they settle. A handler may only
+// touch lock-free state, so it just sets the flag.
+std::atomic<bool> g_interrupted{false};
+void on_sigint(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
 /// The whole status document: scheduler svc.* metrics + live job gauges.
 std::string status_text(svc::Scheduler& scheduler) {
@@ -68,6 +86,7 @@ std::string jobs_json(svc::Scheduler& scheduler) {
     w.field("ledger_bytes", j.progress.ledger_bytes);
     w.field("virtual_s", j.progress.virtual_s);
     w.field("wall_s", j.progress.wall_s);
+    w.field("postmortem", j.postmortem);
     w.end_object();
   }
   w.end_array();
@@ -122,6 +141,9 @@ int main(int argc, char** argv) try {
       "seconds without an iteration advance before a job is stalled");
   const bool watchdog_cancel = cli.get_bool("watchdog-cancel", false,
       "auto-cancel stalled/diverging jobs (default: report only)");
+  const std::string postmortem_dir = cli.get("postmortem-dir", "",
+      "write per-job flight-recorder dumps here on watchdog stall/diverge "
+      "and on SIGINT");
   const std::string log_level = cli.get("log", "warn", "debug|info|warn|error");
   const int nthreads = par::register_threads_flag(cli);
   if (cli.help_requested()) {
@@ -150,7 +172,9 @@ int main(int argc, char** argv) try {
   options.watchdog.auto_cancel = watchdog_cancel;
   options.watchdog.sample_interval_s =
       std::max(0.1, status_interval_ms / 1000.0);
+  options.postmortem_dir = postmortem_dir;
   svc::Scheduler scheduler(options);
+  std::signal(SIGINT, on_sigint);
   if (!watch) {
     std::cout << "hipmcl_serve: " << specs.size() << " job"
               << (specs.size() == 1 ? "" : "s") << ", " << max_concurrent
@@ -174,20 +198,34 @@ int main(int argc, char** argv) try {
 
   // Live loop: refresh the status surfaces until every job settles.
   // The status file is written before the first wait too, so even a
-  // sub-interval run leaves a scrapable document behind.
+  // sub-interval run leaves a scrapable document behind. The loop always
+  // runs (not just when a status surface is on) so SIGINT can be
+  // observed between waits: the first observation cancels every job
+  // cooperatively, then the loop continues until they settle and the
+  // normal flush path below runs.
   const auto tick = std::chrono::milliseconds(std::max(10, status_interval_ms));
-  if (!status_out.empty() || watch) {
-    for (;;) {
-      if (!status_out.empty()) {
-        obs::write_file_atomic(status_out, status_text(scheduler));
-      }
-      if (watch) draw_watch(scheduler);
-      if (scheduler.all_settled()) break;
-      std::this_thread::sleep_for(tick);
+  bool interrupted = false;
+  for (;;) {
+    if (g_interrupted.load(std::memory_order_relaxed) && !interrupted) {
+      interrupted = true;
+      if (!watch) std::cout << "hipmcl_serve: SIGINT, cancelling jobs\n";
+      for (const auto& j : scheduler.jobs_snapshot()) scheduler.cancel(j.id);
     }
+    if (!status_out.empty()) {
+      obs::write_file_atomic(status_out, status_text(scheduler));
+    }
+    if (watch) draw_watch(scheduler);
+    if (scheduler.all_settled()) break;
+    std::this_thread::sleep_for(tick);
   }
 
   const std::vector<svc::JobOutcome> outcomes = scheduler.drain();
+  if (interrupted) {
+    for (const std::string& path :
+         scheduler.write_postmortems("signal:SIGINT")) {
+      std::cout << "wrote post-mortem " << path << "\n";
+    }
+  }
 
   // Final rewrite so the file reflects the terminal states. One explicit
   // health sample first: a sub-interval run can settle before the
@@ -226,6 +264,7 @@ int main(int argc, char** argv) try {
     // the port after launching us in the background).
     std::this_thread::sleep_for(std::chrono::milliseconds(status_linger_ms));
   }
+  if (interrupted) return 130;  // the shell's SIGINT convention
   return any_failed ? 1 : 0;
 } catch (const std::exception& e) {
   std::cerr << "hipmcl_serve: " << e.what() << "\n";

@@ -5,6 +5,7 @@
 //   mclx_perfdiff <baseline.json> <candidate.json>
 //                 [--rel-tol 1e-9] [--all] [--with-real-wall]
 //                 [--strict-missing] [--ignore <path-prefix>]...
+//                 [--json <path|->]
 //
 // Exit status: 0 when no field regressed (improvements and
 // within-tolerance drift pass), 1 on any regression (or, with
@@ -15,6 +16,7 @@
 // committed bench/BENCH_baseline.json so out-of-tolerance
 // deterministic fields fail the build.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -28,6 +30,7 @@ constexpr const char* kUsage =
     "usage: mclx_perfdiff <baseline.json> <candidate.json>\n"
     "                     [--rel-tol <rel>] [--all] [--with-real-wall]\n"
     "                     [--strict-missing] [--ignore <path-prefix>]...\n"
+    "                     [--json <path|->]\n"
     "\n"
     "  --rel-tol <rel>    relative tolerance for numeric fields\n"
     "                     (default 1e-9: deterministic fields stay strict,\n"
@@ -37,7 +40,10 @@ constexpr const char* kUsage =
     "  --strict-missing   fail when a baseline field is absent from the\n"
     "                     candidate (default: report as removed, skip)\n"
     "  --ignore <prefix>  ignore fields whose dotted path starts with "
-    "<prefix>\n";
+    "<prefix>\n"
+    "  --json <path|->    also write the diff as JSON (per-field verdicts,\n"
+    "                     verdict counts, overall ok bit) for CI annotation;\n"
+    "                     '-' writes to stdout instead of the tables\n";
 
 }  // namespace
 
@@ -47,6 +53,7 @@ int main(int argc, char** argv) try {
   std::vector<std::string> paths;
   obs::DiffOptions opt;
   bool show_all = false;
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -68,6 +75,8 @@ int main(int argc, char** argv) try {
       opt.strict_missing = true;
     } else if (arg == "--ignore") {
       opt.ignored_prefixes.push_back(next("--ignore"));
+    } else if (arg == "--json") {
+      json_out = next("--json");
     } else if (arg.rfind("--", 0) == 0) {
       throw std::invalid_argument("unknown flag: " + arg);
     } else {
@@ -82,9 +91,23 @@ int main(int argc, char** argv) try {
   const obs::FlatDoc candidate = obs::flatten_json_file(paths[1]);
   const obs::DiffResult result = obs::diff_reports(baseline, candidate, opt);
 
-  obs::verdict_table(result, show_all).print(std::cout);
-  std::cout << "mclx_perfdiff: " << paths[0] << " vs " << paths[1] << ": "
-            << obs::summarize(result) << "\n";
+  if (json_out == "-") {
+    // Machine-readable mode: the JSON document IS stdout (CI pipes it
+    // straight into an annotation step); the human tables would corrupt
+    // it, so they are suppressed.
+    obs::write_diff_json(std::cout, result, show_all);
+  } else {
+    if (!json_out.empty()) {
+      std::ofstream out(json_out);
+      if (!out) {
+        throw std::runtime_error("cannot write " + json_out);
+      }
+      obs::write_diff_json(out, result, show_all);
+    }
+    obs::verdict_table(result, show_all).print(std::cout);
+    std::cout << "mclx_perfdiff: " << paths[0] << " vs " << paths[1] << ": "
+              << obs::summarize(result) << "\n";
+  }
   return result.ok() ? 0 : 1;
 } catch (const std::invalid_argument& e) {
   std::cerr << "mclx_perfdiff: " << e.what() << "\n\n" << kUsage;

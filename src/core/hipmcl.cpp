@@ -13,6 +13,7 @@
 #include "estimate/planner.hpp"
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/flight_recorder.hpp"
 #include "sim/collectives.hpp"
 #include "sim/costmodel.hpp"
 #include "sparse/convert.hpp"
@@ -237,6 +238,8 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
   const vtime_t run_elapsed_before = sim.elapsed();
 
   const auto notify_stage = [&config](obs::RunStage stage) {
+    obs::fr_record(obs::FrEventKind::kStage, obs::to_string(stage),
+                   static_cast<std::uint64_t>(stage));
     if (config.on_stage) config.on_stage(stage);
   };
 
@@ -352,6 +355,9 @@ MclResult run_hipmcl(const dist::TriplesD& graph, const MclParams& params,
     rep.stage_times = stage_delta(sim, iter_before);
     rep.elapsed = sim.elapsed() - iter_elapsed_before;
     report_iteration(rep);
+    obs::fr_record(obs::FrEventKind::kIteration, "iter",
+                   static_cast<std::uint64_t>(rep.iter), rep.nnz_after_prune,
+                   rep.chaos);
     result.iters.push_back(rep);
     if (config.on_iteration) config.on_iteration(rep);
     util::log_info("mcl iter ", rep.iter, ": nnz=", rep.nnz_after_prune,

@@ -200,13 +200,29 @@ void write_file_atomic(const std::string& path, std::string_view content) {
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
+      // The open itself may have created a zero-byte tmp before failing
+      // (e.g. quota exceeded on the first block): clean up regardless.
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
       throw std::runtime_error("write_file_atomic: cannot open " + tmp);
     }
     out.write(content.data(),
               static_cast<std::streamsize>(content.size()));
-    if (!out) throw std::runtime_error("write_file_atomic: write failed");
+    out.close();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("write_file_atomic: write failed");
+    }
   }
-  std::filesystem::rename(tmp, path);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    throw std::filesystem::filesystem_error("write_file_atomic: rename failed",
+                                            tmp, path, ec);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <iomanip>
 
 #include "obs/metrics.hpp"
+#include "obs/prof/flight_recorder.hpp"
 
 #if defined(__linux__)
 #include <fstream>
@@ -93,7 +94,23 @@ void MemLedger::charge(std::string_view label, std::uint64_t bytes) {
   }
   ++st.charges;
   total_current_ += bytes;
-  if (total_current_ > total_high_water_) total_high_water_ = total_current_;
+  if (total_current_ > total_high_water_) {
+    // Power-of-2 high-water crossings go to the flight recorder: coarse
+    // enough to never flood a ring (at most ~64 events per run), yet a
+    // stall/crash post-mortem still shows the footprint trajectory.
+    const auto log2_floor = [](std::uint64_t v) {
+      int b = 0;
+      while (v >>= 1) ++b;
+      return b;
+    };
+    const bool crossed =
+        total_high_water_ == 0 ||
+        log2_floor(total_current_) > log2_floor(total_high_water_);
+    total_high_water_ = total_current_;
+    if (crossed) {
+      fr_record(FrEventKind::kAllocHwm, "total_hwm", total_high_water_);
+    }
+  }
   ++total_charges_;
   charge_bytes_.record(static_cast<double>(bytes));
   timeline_point_locked(label, st.current_bytes);

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json_writer.hpp"
+
 namespace mclx::obs {
 
 namespace {
@@ -234,9 +236,13 @@ Direction direction_of(std::string_view path) {
 
 bool is_ignored(std::string_view path, const DiffOptions& opt) {
   // "real." covers the measured-multicore block (schema v3): wall-clock
-  // numbers vary by machine exactly like real_wall_s.
+  // numbers vary by machine exactly like real_wall_s. "prof." (schema
+  // v8) is hardware-counter evidence — cycles and cache misses are as
+  // machine-dependent as wall time, so the roofline block informs but
+  // never gates.
   if (opt.ignore_real_wall &&
-      (path == "real_wall_s" || path.rfind("real.", 0) == 0)) {
+      (path == "real_wall_s" || path.rfind("real.", 0) == 0 ||
+       path.rfind("prof.", 0) == 0)) {
     return true;
   }
   for (const std::string& prefix : opt.ignored_prefixes) {
@@ -403,6 +409,38 @@ std::string summarize(const DiffResult& d) {
      << d.count(Verdict::kIgnored) << " ignored — "
      << (d.ok() ? "OK" : "REGRESSED");
   return ss.str();
+}
+
+void write_diff_json(std::ostream& os, const DiffResult& d, bool all) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("ok", d.ok());
+  w.begin_object("counts");
+  constexpr Verdict kAllVerdicts[] = {
+      Verdict::kEqual,   Verdict::kWithinTolerance, Verdict::kImproved,
+      Verdict::kRegressed, Verdict::kMissing,       Verdict::kRemoved,
+      Verdict::kAdded,   Verdict::kIgnored,
+  };
+  for (const Verdict v : kAllVerdicts) {
+    w.field(verdict_name(v), static_cast<std::uint64_t>(d.count(v)));
+  }
+  w.end_object();
+  w.begin_array("fields");
+  for (const FieldDiff& f : d.fields) {
+    const bool interesting = f.verdict != Verdict::kEqual &&
+                             f.verdict != Verdict::kIgnored &&
+                             f.verdict != Verdict::kWithinTolerance;
+    if (!all && !interesting) continue;
+    w.begin_object(JsonWriter::Style::kCompact);
+    w.field("path", f.path);
+    w.field("verdict", verdict_name(f.verdict));
+    w.field("baseline", f.baseline);
+    w.field("candidate", f.candidate);
+    w.field("rel_delta", f.rel_delta);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace mclx::obs

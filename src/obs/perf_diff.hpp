@@ -97,4 +97,11 @@ util::Table verdict_table(const DiffResult& d, bool all = false);
 /// One-line tally ("N fields: E equal, ... — OK/REGRESSED").
 std::string summarize(const DiffResult& d);
 
+/// Machine-readable diff for CI annotation (mclx_perfdiff --json):
+/// {"ok", "counts": {<verdict>: n, ...}, "fields": [{"path", "verdict",
+/// "baseline", "candidate", "rel_delta"}, ...]}. `all` includes the
+/// equal/within-tol/ignored fields; the default emits only the
+/// interesting ones (same filter as verdict_table).
+void write_diff_json(std::ostream& os, const DiffResult& d, bool all = false);
+
 }  // namespace mclx::obs

@@ -1,0 +1,174 @@
+// Hardware-counter sessions over perf_event_open (the Nagasaka
+// hash-SpGEMM methodology, arXiv:1804.01698: ground every kernel claim
+// in cycle/cache-miss evidence, not wall time alone). One HwCounters
+// object owns a small group of per-thread counting events — cycles,
+// instructions, L1d-read misses, LLC misses, branch misses — with
+// start()/stop()/read() windows cheap enough to bracket a single kernel
+// dispatch or one pipeline stage.
+//
+// Graceful degradation is the contract, not an afterthought: when the
+// kernel forbids unprivileged counting (perf_event_paranoid), the
+// platform lacks perf_event entirely (non-Linux), or a PMU event is not
+// implemented (VMs often expose no L1d node), the object silently
+// becomes a no-op backend — available() is false, every window returns
+// zeros, and nothing the caller computes changes. The CI runner path IS
+// the no-op path; tests pin it explicitly via Options::force_noop.
+//
+// Counters attach to the *calling thread* (pid=0, cpu=-1), so a window
+// opened on the driver thread measures the driver's share of a pooled
+// kernel — its own participating lane — not the whole pool. That is the
+// documented caveat (docs/OBSERVABILITY.md "Profiling & post-mortems"):
+// per-kernel windows are a per-lane sample, exact for the sequential
+// kernels and representative for the pooled ones.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mclx::obs {
+
+class MetricsRegistry;
+
+/// One window's counter deltas. A counter whose PMU event failed to open
+/// stays zero; `available` is the whole-session bit (false => all zero).
+struct HwCounterValues {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+  bool available = false;
+};
+
+class HwCounters {
+ public:
+  struct Options {
+    /// Pin the no-op backend regardless of platform support — the knob
+    /// tests and the MCLX_PROF=OFF path use to prove the fallback
+    /// engages cleanly.
+    bool force_noop = false;
+  };
+
+  /// Opens the event group on the calling thread. Never throws: any
+  /// open failure (paranoid setting, missing syscall, unimplemented
+  /// event) degrades to the no-op backend.
+  HwCounters() : HwCounters(Options()) {}
+  explicit HwCounters(Options options);
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+  ~HwCounters();
+
+  /// True when at least the cycle counter opened; false on the no-op
+  /// backend (every read() returns zeros).
+  bool available() const { return available_; }
+
+  /// "perf_event" or "noop".
+  std::string_view backend() const {
+    return available_ ? "perf_event" : "noop";
+  }
+
+  /// Reset and enable the counters (opens a window). No-op fallback: does
+  /// nothing.
+  void start();
+
+  /// Disable the counters (closes the window; read() stays valid).
+  void stop();
+
+  /// Deltas accumulated since the last start(). Callable with the window
+  /// open or closed.
+  HwCounterValues read() const;
+
+  /// Whether this platform can plausibly open counters at all: Linux,
+  /// and /proc/sys/kernel/perf_event_paranoid readable and permissive
+  /// enough for process-scope counting (<= 2, or running with
+  /// CAP_PERFMON/root). A true here does not guarantee every event
+  /// opens — construction is the real test.
+  static bool platform_supported();
+
+  static constexpr int kNumEvents = 5;
+
+ private:
+  int fds_[kNumEvents] = {-1, -1, -1, -1, -1};
+  bool available_ = false;
+};
+
+/// MCLX_PROF environment switch: "ON"/"on"/"1" enable the profiling
+/// instrumentation sites (per-kernel counter windows) process-wide.
+/// Cached after the first call.
+bool prof_env_enabled();
+
+/// Process-wide kernel-window switch: prof_env_enabled() OR an active
+/// ScopedKernelProfiling. Checked (one relaxed load) at every kernel
+/// dispatch, so the off path costs a branch.
+bool kernel_profiling_enabled();
+
+/// RAII enable for the per-kernel counter windows (what hipmcl_cli
+/// --prof and the benches install; nests).
+class ScopedKernelProfiling {
+ public:
+  ScopedKernelProfiling();
+  ScopedKernelProfiling(const ScopedKernelProfiling&) = delete;
+  ScopedKernelProfiling& operator=(const ScopedKernelProfiling&) = delete;
+  ~ScopedKernelProfiling();
+};
+
+/// Counter window around one local-SpGEMM kernel dispatch (the registry
+/// wrapper, spgemm/registry.cpp). Inert unless kernel_profiling_enabled()
+/// and a metrics registry is installed. On destruction publishes
+///   prof.hw.kernel.<name>.{cycles,instructions,l1d_misses,llc_misses,
+///                          branch_misses}   (counters)
+/// and, when `flops` > 0, joins the window with the roofline model
+/// (obs/prof/roofline.hpp):
+///   prof.hw.<name>.bytes_per_flop.{predicted,measured,rel_error}
+///   prof.hw.<name>.cycles_per_flop
+/// The per-thread HwCounters set is opened lazily on first use and
+/// reused, so a window is two ioctls + one read, not an open.
+class KernelCounterScope {
+ public:
+  KernelCounterScope(std::string_view kernel, std::uint64_t flops);
+  KernelCounterScope(const KernelCounterScope&) = delete;
+  KernelCounterScope& operator=(const KernelCounterScope&) = delete;
+  ~KernelCounterScope();
+
+ private:
+  bool active_ = false;
+  std::string_view kernel_;
+  std::uint64_t flops_ = 0;
+};
+
+/// Per-stage counter session, wired into core::HipMclConfig::on_stage
+/// (the existing stage hook — hipmcl_cli --prof does exactly
+/// `config.on_stage = [&p](obs::RunStage s) { p.on_stage(s); }`).
+/// Each transition closes the previous stage's window and attributes its
+/// deltas to
+///   prof.hw.stage.<stage>.{cycles,instructions,l1d_misses,llc_misses,
+///                          branch_misses}
+/// in `registry` (or the installed global registry when null). on_stage
+/// must be called from one thread — the driver — which is exactly the
+/// core loop's contract for the hook.
+class StageHwProfiler {
+ public:
+  explicit StageHwProfiler(MetricsRegistry* registry = nullptr);
+  StageHwProfiler(const StageHwProfiler&) = delete;
+  StageHwProfiler& operator=(const StageHwProfiler&) = delete;
+  ~StageHwProfiler();
+
+  /// The hook body: close + attribute the open window (if any), open a
+  /// new one for stage `s` unless `s` is terminal (kFinished).
+  void on_stage(int stage);
+
+  /// Close and attribute the open window without opening another
+  /// (idempotent; the destructor calls it).
+  void finish();
+
+  bool available() const { return counters_.available(); }
+
+ private:
+  void attribute();
+
+  MetricsRegistry* registry_;
+  HwCounters counters_;
+  int open_stage_ = -1;
+};
+
+}  // namespace mclx::obs

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/prof/flight_recorder.hpp"
+#include "obs/prof/hw_counters.hpp"
 #include "sparse/ops.hpp"
 #include "spgemm/hash.hpp"
 #include "spgemm/hash_parallel.hpp"
@@ -75,6 +77,14 @@ LocalSpgemmResult LocalMultiplier::run_cpu(KernelKind kind, const CscD& a,
   LocalSpgemmResult r;
   r.used = kind;
   r.flops = flops;
+  // The registry wrapper is the one per-kernel instrumentation point:
+  // every dispatch leaves a flight-recorder event, and — only when
+  // profiling is on — a hardware-counter window whose deltas join the
+  // roofline audit (obs/prof/roofline.hpp). Neither touches the
+  // multiply's inputs or outputs, preserving bit-identity with
+  // profiling off (tests/test_prof.cpp pins this).
+  obs::fr_record(obs::FrEventKind::kKernel, kernel_name(kind), flops);
+  obs::KernelCounterScope prof(kernel_name(kind), flops);
   switch (kind) {
     case KernelKind::kCpuHeap:
       r.c = heap_spgemm(a, b);

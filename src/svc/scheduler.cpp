@@ -95,6 +95,11 @@ std::string Scheduler::submit(JobSpec spec) {
     // Scheduler ids are unique for its whole lifetime (jobs_ keeps
     // terminal handles), so the board's own duplicate check can't fire.
     h->progress = board_.add(h->spec.id);
+    // Always-on per-job flight recorder, stamped with the board clock —
+    // the same (injectable) clock the watchdog classifies on, so a
+    // fake-clock stall test produces a dump with a real timeline.
+    h->recorder = std::make_shared<obs::FlightRecorder>();
+    h->recorder->set_clock([this] { return board_.now(); });
     jobs_.push_back(h);
     ++queued_;
     svc_metrics_.add("svc.jobs.submitted");
@@ -225,7 +230,62 @@ std::vector<HealthReport> Scheduler::sample_health() {
       svc_metrics_.add("svc.health.auto_cancelled");
     }
   }
+  // A stalled/diverging verdict triggers the job's post-mortem (once):
+  // dumped before any auto-cancel completes, so the timeline shows what
+  // the job was doing when the watchdog condemned it. File I/O happens
+  // with no locks held; only the claim/publish steps take mu_.
+  if (!options_.postmortem_dir.empty()) {
+    for (const HealthReport& r : reports) {
+      if (r.health != JobHealth::kStalled && r.health != JobHealth::kDiverging)
+        continue;
+      std::shared_ptr<Handle> h;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        h = find_locked(r.job);
+        if (!h || !h->postmortem_path.empty()) continue;
+        h->postmortem_path = options_.postmortem_dir + "/" + r.job +
+                             ".postmortem.json";  // claimed: dump once
+      }
+      const std::string reason =
+          "watchdog:" + std::string(to_string(r.health));
+      const bool ok = h->recorder->dump_file(h->postmortem_path, r.job, reason);
+      std::lock_guard<std::mutex> lk(mu_);
+      if (ok) {
+        svc_metrics_.add("svc.postmortems");
+      } else {
+        h->postmortem_path.clear();  // retry on the next verdict
+      }
+    }
+  }
   return reports;
+}
+
+std::shared_ptr<obs::FlightRecorder> Scheduler::recorder(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::shared_ptr<Handle> h = find_locked(id);
+  return h ? h->recorder : nullptr;
+}
+
+std::vector<std::string> Scheduler::write_postmortems(std::string_view reason) {
+  std::vector<std::string> written;
+  if (options_.postmortem_dir.empty()) return written;
+  std::vector<std::shared_ptr<Handle>> handles;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    handles = jobs_;
+  }
+  for (const auto& h : handles) {
+    if (h->recorder->total_recorded() == 0) continue;  // never dispatched
+    const std::string path =
+        options_.postmortem_dir + "/" + h->spec.id + ".postmortem.json";
+    if (!h->recorder->dump_file(path, h->spec.id, reason)) continue;
+    written.push_back(path);
+    std::lock_guard<std::mutex> lk(mu_);
+    h->postmortem_path = path;
+    svc_metrics_.add("svc.postmortems");
+  }
+  return written;
 }
 
 bool Scheduler::all_settled() const {
@@ -238,13 +298,14 @@ std::vector<Scheduler::LiveJob> Scheduler::jobs_snapshot() const {
     std::string id;
     JobState state;
     std::shared_ptr<obs::JobProgress> progress;
+    std::string postmortem;
   };
   std::vector<Row> rows;
   {
     std::lock_guard<std::mutex> lk(mu_);
     rows.reserve(jobs_.size());
     for (const auto& h : jobs_) {
-      rows.push_back({h->spec.id, h->state, h->progress});
+      rows.push_back({h->spec.id, h->state, h->progress, h->postmortem_path});
     }
   }
   std::map<std::string, JobHealth> verdicts;
@@ -260,6 +321,7 @@ std::vector<Scheduler::LiveJob> Scheduler::jobs_snapshot() const {
     j.id = row.id;
     j.state = row.state;
     j.progress = row.progress->snapshot(now);
+    j.postmortem = row.postmortem;
     // Watchdog verdict when one exists and the job is still live;
     // otherwise a sensible default so --watch reads right with the
     // watchdog off.
@@ -370,6 +432,7 @@ void Scheduler::execute(Handle& h) {
     obs::MemLedger job_ledger;
     obs::ScopedMetrics metrics_scope(job_metrics);
     obs::ScopedMemLedger ledger_scope(job_ledger);
+    obs::ScopedFlightRecorder recorder_scope(*h.recorder);
     par::ScopedLaneCap cap(lane_share_);
 
     sim::SimState sim(h.spec.cpu_only_machine

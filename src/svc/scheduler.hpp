@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/prof/flight_recorder.hpp"
 #include "obs/progress.hpp"
 #include "svc/health.hpp"
 #include "svc/job.hpp"
@@ -54,6 +55,13 @@ struct SchedulerOptions {
   /// enabled with sample_interval_s > 0 the scheduler runs a sampling
   /// thread, otherwise call sample_health() on your own cadence.
   WatchdogOptions watchdog;
+  /// When non-empty, flight-recorder post-mortems land here: the
+  /// watchdog writes `<dir>/<job>.postmortem.json` the first time it
+  /// classifies a job stalled/diverging, and write_postmortems() dumps
+  /// every job with recorded events (the front end's SIGINT path). The
+  /// directory must exist. Empty disables the dumps; the per-job
+  /// recorders still run (they are the always-on part).
+  std::string postmortem_dir;
 };
 
 class Scheduler {
@@ -127,8 +135,22 @@ class Scheduler {
     JobState state = JobState::kQueued;
     JobHealth health = JobHealth::kWaiting;
     obs::ProgressSnapshot progress;
+    /// Path of this job's post-mortem dump, empty until one was written
+    /// (watchdog stall/diverge dump or write_postmortems()).
+    std::string postmortem;
   };
   std::vector<LiveJob> jobs_snapshot() const;
+
+  /// This job's always-on flight recorder (never null for a submitted
+  /// id; nullptr when the id is unknown). Events are stamped with the
+  /// board clock, so fake-clock tests produce real timelines.
+  std::shared_ptr<obs::FlightRecorder> recorder(const std::string& id) const;
+
+  /// Dump every job that recorded events to
+  /// `options.postmortem_dir/<job>.postmortem.json` with `reason` —
+  /// the graceful-shutdown path (front-end SIGINT). Returns the paths
+  /// written; empty when postmortem_dir is unset.
+  std::vector<std::string> write_postmortems(std::string_view reason);
 
  private:
   struct Handle {
@@ -140,6 +162,11 @@ class Scheduler {
     JobOutcome outcome;
     /// This job's progress gauges on the board (never null).
     std::shared_ptr<obs::JobProgress> progress;
+    /// Always-on flight recorder, installed thread-locally around the
+    /// job's run and propagated into pool workers (never null).
+    std::shared_ptr<obs::FlightRecorder> recorder;
+    /// Post-mortem dump path once written ("" before); guarded by mu_.
+    std::string postmortem_path;
   };
 
   void runner_loop();

@@ -8,6 +8,7 @@
 
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/flight_recorder.hpp"
 #include "sim/eventlog.hpp"
 #include "util/cli.hpp"
 
@@ -25,13 +26,15 @@ thread_local int t_lane_cap = 0;  // 0 = uncapped
 class SinkGuard {
  public:
   SinkGuard(obs::MetricsRegistry* metrics, obs::MemLedger* ledger,
-            sim::EventLog* events)
+            sim::EventLog* events, obs::FlightRecorder* recorder)
       : prev_metrics_(obs::metrics()),
         prev_ledger_(obs::mem_ledger()),
-        prev_events_(sim::event_log()) {
+        prev_events_(sim::event_log()),
+        prev_recorder_(obs::flight_recorder()) {
     obs::set_metrics(metrics);
     obs::set_mem_ledger(ledger);
     sim::set_event_log(events);
+    obs::set_flight_recorder(recorder);
   }
   SinkGuard(const SinkGuard&) = delete;
   SinkGuard& operator=(const SinkGuard&) = delete;
@@ -39,12 +42,14 @@ class SinkGuard {
     obs::set_metrics(prev_metrics_);
     obs::set_mem_ledger(prev_ledger_);
     sim::set_event_log(prev_events_);
+    obs::set_flight_recorder(prev_recorder_);
   }
 
  private:
   obs::MetricsRegistry* prev_metrics_;
   obs::MemLedger* prev_ledger_;
   sim::EventLog* prev_events_;
+  obs::FlightRecorder* prev_recorder_;
 };
 
 int hardware_threads() {
@@ -136,7 +141,7 @@ void ThreadPool::worker_loop() {
     {
       // Lanes run under the submitting driver's sinks, not whatever this
       // worker executed last.
-      SinkGuard sinks(job->metrics, job->ledger, job->events);
+      SinkGuard sinks(job->metrics, job->ledger, job->events, job->recorder);
       t_in_region = true;
       work(*job);
       t_in_region = false;
@@ -174,6 +179,7 @@ void ThreadPool::run(int lanes, const std::function<void(int)>& fn) {
   job->metrics = obs::metrics();
   job->ledger = obs::mem_ledger();
   job->events = sim::event_log();
+  job->recorder = obs::flight_recorder();
   const std::uint64_t t0 = now_ns();
   std::size_t active_now = 0;
   {

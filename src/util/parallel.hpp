@@ -49,6 +49,7 @@ class Cli;
 namespace mclx::obs {
 class MetricsRegistry;
 class MemLedger;
+class FlightRecorder;
 }
 namespace mclx::sim {
 class EventLog;
@@ -115,6 +116,7 @@ class ThreadPool {
     obs::MetricsRegistry* metrics = nullptr;
     obs::MemLedger* ledger = nullptr;
     sim::EventLog* events = nullptr;
+    obs::FlightRecorder* recorder = nullptr;
   };
 
   void worker_loop();

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -447,6 +448,26 @@ TEST(Expo, WriteFileAtomicReplacesAndLeavesNoTemp) {
   EXPECT_EQ(content, "second\n");
   EXPECT_FALSE(std::ifstream(path + ".tmp").good());
   std::remove(path.c_str());
+}
+
+TEST(Expo, WriteFileAtomicUnlinksTempWhenRenameFails) {
+  // Failure injection: the target is a directory, so the final rename
+  // must fail — and the .tmp staging file must not survive the throw.
+  const std::string path = temp_path("expo_atomic_dir_target");
+  ASSERT_TRUE(std::filesystem::create_directory(path));
+  EXPECT_THROW(obs::write_file_atomic(path, "doomed\n"),
+               std::filesystem::filesystem_error);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(Expo, WriteFileAtomicThrowsCleanlyWhenOpenFails) {
+  // Missing parent directory: the staging file cannot even open. No
+  // .tmp may appear, and the error must surface as an exception.
+  const std::string path = temp_path("no_such_dir") + "/status.prom";
+  EXPECT_THROW(obs::write_file_atomic(path, "doomed\n"), std::exception);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 // ---------------------------------------------------------------------------

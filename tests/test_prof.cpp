@@ -1,0 +1,636 @@
+// Profiling & post-mortems (docs/OBSERVABILITY.md): the
+// perf_event_open hardware-counter session and its no-op fallback, the
+// roofline audit channels joining counters with the COSTMODEL.md
+// bytes/flop predictions, the lock-free flight recorder (record/merge/
+// wrap/concurrency), the async-signal-safe dump path (including a
+// forked child crashing mid-iteration), the scheduler's watchdog-routed
+// stall post-mortem on a fake clock, and the headline contract that
+// turning all of it on changes no clustering bit.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hipmcl.hpp"
+#include "gen/datasets.hpp"
+#include "gen/planted.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf_diff.hpp"
+#include "obs/prof/flight_recorder.hpp"
+#include "obs/prof/hw_counters.hpp"
+#include "obs/prof/roofline.hpp"
+#include "obs/progress.hpp"
+#include "sim/machine.hpp"
+#include "sim/timeline.hpp"
+#include "svc/scheduler.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace mclx;
+
+struct PoolGuard {
+  ~PoolGuard() { par::set_threads(0); }
+};
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// HwCounters: the no-op fallback is the portable contract; the real
+// backend is asserted only where the platform grants it.
+
+TEST(HwCounters, ForcedNoopBackendEngagesCleanly) {
+  obs::HwCounters::Options opt;
+  opt.force_noop = true;
+  obs::HwCounters counters(opt);
+  EXPECT_FALSE(counters.available());
+  EXPECT_EQ(counters.backend(), "noop");
+  counters.start();  // every window op must be safe on the no-op backend
+  counters.stop();
+  const obs::HwCounterValues v = counters.read();
+  EXPECT_FALSE(v.available);
+  EXPECT_EQ(v.cycles, 0u);
+  EXPECT_EQ(v.instructions, 0u);
+  EXPECT_EQ(v.llc_misses, 0u);
+}
+
+TEST(HwCounters, UnsupportedPlatformImpliesNoopBackend) {
+  obs::HwCounters counters;
+  if (!obs::HwCounters::platform_supported()) {
+    EXPECT_FALSE(counters.available());
+    EXPECT_EQ(counters.backend(), "noop");
+  } else {
+    // Support is necessary, not sufficient (a VM may still refuse the
+    // PMU) — whichever way construction went, the object must behave.
+    counters.start();
+    counters.stop();
+    EXPECT_EQ(counters.read().available, counters.available());
+  }
+}
+
+TEST(HwCounters, RealWindowsCountWork) {
+  obs::HwCounters counters;
+  if (!counters.available()) {
+    GTEST_SKIP() << "perf_event unavailable here (no-op backend)";
+  }
+  counters.start();
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i * i;
+  counters.stop();
+  const obs::HwCounterValues v = counters.read();
+  EXPECT_TRUE(v.available);
+  EXPECT_GT(v.cycles, 0u);
+  // ~5 instructions per loop trip; any real counter lands far above 1e6.
+  EXPECT_GT(v.instructions, 1'000'000u);
+
+  // start() resets: a tiny second window must not inherit the first.
+  counters.start();
+  counters.stop();
+  EXPECT_LT(counters.read().instructions, v.instructions);
+}
+
+TEST(KernelProfiling, ScopedEnableNestsAndRestores) {
+  if (obs::prof_env_enabled()) {
+    GTEST_SKIP() << "MCLX_PROF=ON pins kernel profiling process-wide";
+  }
+  EXPECT_FALSE(obs::kernel_profiling_enabled());
+  {
+    obs::ScopedKernelProfiling outer;
+    EXPECT_TRUE(obs::kernel_profiling_enabled());
+    {
+      obs::ScopedKernelProfiling inner;
+      EXPECT_TRUE(obs::kernel_profiling_enabled());
+    }
+    EXPECT_TRUE(obs::kernel_profiling_enabled());
+  }
+  EXPECT_FALSE(obs::kernel_profiling_enabled());
+}
+
+TEST(KernelProfiling, CounterScopePublishesWindowsAndRoofline) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetrics metrics_scope(registry);
+  obs::ScopedKernelProfiling enable;
+  {
+    obs::KernelCounterScope scope("cpu-hash", 1'000'000);
+  }
+  EXPECT_EQ(registry.counter("prof.hw.kernel.cpu-hash.windows"), 1u);
+  // The predicted channel comes from the frozen model, so it populates
+  // on the no-op backend too; measured/rel_error need real counters.
+  const obs::Accumulator* predicted =
+      registry.accumulator("prof.hw.cpu-hash.bytes_per_flop.predicted");
+  ASSERT_NE(predicted, nullptr);
+  EXPECT_DOUBLE_EQ(predicted->mean(), 0.48);
+  if (obs::HwCounters().available()) {
+    EXPECT_NE(registry.accumulator("prof.hw.cpu-hash.bytes_per_flop.measured"),
+              nullptr);
+    EXPECT_NE(
+        registry.accumulator("prof.hw.cpu-hash.bytes_per_flop.rel_error"),
+        nullptr);
+  }
+}
+
+TEST(KernelProfiling, CounterScopeIsInertWithoutEnableOrRegistry) {
+  if (obs::prof_env_enabled()) GTEST_SKIP() << "MCLX_PROF=ON";
+  obs::MetricsRegistry registry;
+  {
+    // Registry installed, profiling not enabled.
+    obs::ScopedMetrics metrics_scope(registry);
+    obs::KernelCounterScope scope("cpu-hash", 100);
+  }
+  {
+    // Profiling enabled, no registry.
+    obs::ScopedKernelProfiling enable;
+    obs::KernelCounterScope scope("cpu-hash", 100);
+  }
+  EXPECT_EQ(registry.counter("prof.hw.kernel.cpu-hash.windows"), 0u);
+}
+
+TEST(StageHwProfiler, AttributesOneWindowPerStage) {
+  obs::MetricsRegistry registry;
+  obs::StageHwProfiler prof(&registry);
+  prof.on_stage(static_cast<int>(obs::RunStage::kExpand));
+  prof.on_stage(static_cast<int>(obs::RunStage::kInflate));
+  prof.on_stage(static_cast<int>(obs::RunStage::kFinished));
+  prof.finish();  // idempotent: the finished transition already closed
+  EXPECT_EQ(registry.counter("prof.hw.stage.expand.windows"), 1u);
+  EXPECT_EQ(registry.counter("prof.hw.stage.inflate.windows"), 1u);
+  EXPECT_EQ(registry.counter("prof.hw.stage.finished.windows"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Roofline audit channels.
+
+TEST(Roofline, PublishesPredictedMeasuredAndRelError) {
+  // The acceptance trio: every SIMD/reord routing constant gets
+  // counter-level evidence channels.
+  for (const std::string kernel :
+       {"cpu-hash", "cpu-hash-simd", "cpu-hash-reord"}) {
+    obs::MetricsRegistry registry;
+    obs::HwCounterValues v;
+    v.available = true;
+    v.cycles = 4'000'000;
+    v.instructions = 10'000'000;
+    v.l1d_misses = 200'000;
+    v.llc_misses = 50'000;
+    const std::uint64_t flops = 8'000'000;
+    obs::publish_roofline(registry, kernel, flops, v);
+
+    const auto mean = [&](const std::string& ch) {
+      const obs::Accumulator* a =
+          registry.accumulator("prof.hw." + kernel + "." + ch);
+      return a != nullptr ? a->mean() : -1.0;
+    };
+    const double measured =
+        static_cast<double>(v.llc_misses) * 64.0 / static_cast<double>(flops);
+    const double predicted = obs::predicted_bytes_per_flop(kernel).bytes_per_flop;
+    EXPECT_DOUBLE_EQ(mean("bytes_per_flop.predicted"), predicted) << kernel;
+    EXPECT_DOUBLE_EQ(mean("bytes_per_flop.measured"), measured) << kernel;
+    EXPECT_DOUBLE_EQ(mean("bytes_per_flop.rel_error"),
+                     std::abs(predicted - measured) / measured)
+        << kernel;
+    EXPECT_DOUBLE_EQ(mean("cycles_per_flop"), 0.5) << kernel;
+    EXPECT_DOUBLE_EQ(mean("l1d_miss_rate"), 0.02) << kernel;
+  }
+}
+
+TEST(Roofline, UnavailableCountersPublishPredictionOnly) {
+  obs::MetricsRegistry registry;
+  obs::publish_roofline(registry, "cpu-hash", 1000, obs::HwCounterValues{});
+  EXPECT_NE(registry.accumulator("prof.hw.cpu-hash.bytes_per_flop.predicted"),
+            nullptr);
+  EXPECT_EQ(registry.accumulator("prof.hw.cpu-hash.bytes_per_flop.measured"),
+            nullptr);
+  EXPECT_EQ(registry.accumulator("prof.hw.cpu-hash.bytes_per_flop.rel_error"),
+            nullptr);
+}
+
+TEST(Roofline, RoutingConstantsReflectTheLocalityLadder) {
+  // The model the audit checks: reordering < SIMD < scalar hash < heap
+  // < SPA in DRAM traffic per flop (COSTMODEL.md roofline-audit rows).
+  const double reord = obs::predicted_bytes_per_flop("cpu-hash-reord").bytes_per_flop;
+  const double simd = obs::predicted_bytes_per_flop("cpu-hash-simd").bytes_per_flop;
+  const double hash = obs::predicted_bytes_per_flop("cpu-hash").bytes_per_flop;
+  const double heap = obs::predicted_bytes_per_flop("cpu-heap").bytes_per_flop;
+  const double spa = obs::predicted_bytes_per_flop("cpu-spa").bytes_per_flop;
+  EXPECT_LT(reord, simd);
+  EXPECT_LT(simd, hash);
+  EXPECT_LT(hash, heap);
+  EXPECT_LT(heap, spa);
+  EXPECT_FALSE(obs::predicted_bytes_per_flop("nsparse").known);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder: lock-free rings, merge order, wrap, dumps.
+
+TEST(FlightRecorder, RecordsRoundTripAndMergeInTimeOrder) {
+  obs::FlightRecorder rec;
+  double now = 1.0;
+  rec.set_clock([&now] { return now; });
+  rec.record(obs::FrEventKind::kStage, "expand", 2);
+  now = 2.0;
+  rec.record(obs::FrEventKind::kIteration, "iter", 7, 1234, 0.25);
+  now = 3.0;
+  rec.record(obs::FrEventKind::kKernel, "cpu-hash", 99);
+
+  const std::vector<obs::FrEvent> events = rec.merged();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(rec.total_recorded(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].t, 1.0);
+  EXPECT_STREQ(events[0].name, "expand");
+  EXPECT_EQ(events[0].kind, static_cast<std::uint32_t>(obs::FrEventKind::kStage));
+  EXPECT_EQ(events[1].a, 7u);
+  EXPECT_EQ(events[1].b, 1234u);
+  EXPECT_DOUBLE_EQ(events[1].v, 0.25);
+  EXPECT_STREQ(events[2].name, "cpu-hash");
+  EXPECT_EQ(events[2].a, 99u);
+}
+
+TEST(FlightRecorder, TruncatesLongNamesTo15Bytes) {
+  obs::FlightRecorder rec;
+  rec.record(obs::FrEventKind::kMark, "a-very-long-event-name-indeed");
+  const auto events = rec.merged();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "a-very-long-eve");
+}
+
+TEST(FlightRecorder, WrapsKeepingOnlyTheNewestEvents) {
+  obs::FlightRecorder::Options opt;
+  opt.num_rings = 1;
+  opt.ring_capacity = 8;
+  obs::FlightRecorder rec(opt);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    rec.record(obs::FrEventKind::kMark, "m", i);
+  }
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  const auto events = rec.merged();
+  ASSERT_EQ(events.size(), 8u);
+  for (const auto& e : events) EXPECT_GE(e.a, 12u);  // only the tail survives
+}
+
+TEST(FlightRecorder, ConcurrentWritersLoseNothingBelowCapacity) {
+  obs::FlightRecorder::Options opt;
+  opt.num_rings = 4;
+  opt.ring_capacity = 4096;
+  obs::FlightRecorder rec(opt);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        rec.record(obs::FrEventKind::kMark, "w", i,
+                   static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.total_recorded(), kThreads * kPerThread);
+  // Worst case every thread shares one 4096-slot ring; nothing wrapped.
+  EXPECT_EQ(rec.merged().size(), kThreads * kPerThread);
+}
+
+TEST(FlightRecorder, DumpJsonParsesAndCarriesTheTimeline) {
+  obs::FlightRecorder rec;
+  double now = 0.5;
+  rec.set_clock([&now] { return now; });
+  rec.record(obs::FrEventKind::kStage, "expand", 2);
+  now = 0.75;
+  rec.record(obs::FrEventKind::kIteration, "iter", 1, 500, 0.9);
+
+  const std::string text = rec.dump_json("jobX", "end-of-run");
+  const obs::FlatDoc doc = obs::flatten_json(text);
+  EXPECT_EQ(doc.at("job").text, "jobX");
+  EXPECT_EQ(doc.at("reason").text, "end-of-run");
+  EXPECT_DOUBLE_EQ(doc.at("total_recorded").number, 2.0);
+  EXPECT_DOUBLE_EQ(doc.at("retained").number, 2.0);
+  EXPECT_EQ(doc.at("events.0.kind").text, "stage");
+  EXPECT_EQ(doc.at("events.0.name").text, "expand");
+  EXPECT_EQ(doc.at("events.1.kind").text, "iteration");
+  EXPECT_DOUBLE_EQ(doc.at("events.1.t").number, 0.75);
+  EXPECT_DOUBLE_EQ(doc.at("events.1.b").number, 500.0);
+}
+
+TEST(FlightRecorder, DumpFileSucceedsAndFailsWithoutThrowing) {
+  obs::FlightRecorder rec;
+  rec.record(obs::FrEventKind::kMark, "m");
+  const std::string path = temp_path("fr_dump.json");
+  EXPECT_TRUE(rec.dump_file(path, "j", "on-demand"));
+  EXPECT_NO_THROW(obs::flatten_json_file(path));
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      rec.dump_file(testing::TempDir() + "/no_such_dir/fr.json", "j", "r"));
+}
+
+TEST(FlightRecorder, SignalSafeDumpFdWritesTheSameSchema) {
+  obs::FlightRecorder rec;
+  double now = 1.25;
+  rec.set_clock([&now] { return now; });
+  rec.record(obs::FrEventKind::kKernel, "cpu-hash", 42, 0, 0.5);
+
+  const std::string path = temp_path("fr_dump_fd.json");
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  rec.dump_fd(fd, "jobY", "signal:SIGSEGV");
+  ::close(fd);
+
+  const obs::FlatDoc doc = obs::flatten_json(slurp(path));
+  EXPECT_EQ(doc.at("job").text, "jobY");
+  EXPECT_EQ(doc.at("reason").text, "signal:SIGSEGV");
+  EXPECT_EQ(doc.at("events.0.kind").text, "kernel");
+  EXPECT_EQ(doc.at("events.0.name").text, "cpu-hash");
+  EXPECT_DOUBLE_EQ(doc.at("events.0.a").number, 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("events.0.t").number, 1.25);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, SinkScopeInstallsAndRestores) {
+  EXPECT_EQ(obs::flight_recorder(), nullptr);
+  obs::fr_record(obs::FrEventKind::kMark, "dropped");  // no sink: no-op
+  obs::FlightRecorder outer_rec;
+  {
+    obs::ScopedFlightRecorder outer(outer_rec);
+    EXPECT_EQ(obs::flight_recorder(), &outer_rec);
+    obs::FlightRecorder inner_rec;
+    {
+      obs::ScopedFlightRecorder inner(inner_rec);
+      obs::fr_record(obs::FrEventKind::kMark, "inner");
+    }
+    EXPECT_EQ(obs::flight_recorder(), &outer_rec);
+    obs::fr_record(obs::FrEventKind::kMark, "outer");
+    EXPECT_EQ(inner_rec.total_recorded(), 1u);
+  }
+  EXPECT_EQ(obs::flight_recorder(), nullptr);
+  EXPECT_EQ(outer_rec.total_recorded(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: profiling on vs off is bit-identical, and the recorder
+// sees the run's stage/iteration/kernel timeline through the pool.
+
+core::MclResult prof_run(sim::SimState& sim, bool profiled,
+                         obs::MetricsRegistry* registry,
+                         obs::FlightRecorder* recorder) {
+  gen::PlantedParams gp;
+  gp.n = 150;
+  gp.seed = 91;
+  const auto g = gen::planted_partition(gp);
+  core::MclParams params;
+  params.prune.select_k = 25;
+  core::HipMclConfig config = core::HipMclConfig::optimized();
+
+  std::optional<obs::ScopedMetrics> mscope;
+  std::optional<obs::ScopedFlightRecorder> fscope;
+  std::optional<obs::ScopedKernelProfiling> kscope;
+  std::optional<obs::StageHwProfiler> sprof;
+  if (registry) mscope.emplace(*registry);
+  if (recorder) fscope.emplace(*recorder);
+  if (profiled) {
+    kscope.emplace();
+    sprof.emplace(registry);
+    config.on_stage = [&sprof](obs::RunStage s) {
+      sprof->on_stage(static_cast<int>(s));
+    };
+  }
+  return core::run_hipmcl(g.edges, params, config, sim);
+}
+
+TEST(ProfE2E, CountersOnVsOffIsBitIdentical) {
+  PoolGuard guard;
+  par::set_threads(4);
+
+  sim::SimState sim_off(sim::summit_like(4));
+  const core::MclResult off = prof_run(sim_off, false, nullptr, nullptr);
+
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder;
+  sim::SimState sim_on(sim::summit_like(4));
+  const core::MclResult on = prof_run(sim_on, true, &registry, &recorder);
+
+  // The headline contract: instrumentation wraps, never alters.
+  EXPECT_EQ(on.labels, off.labels);
+  EXPECT_EQ(on.num_clusters, off.num_clusters);
+  EXPECT_EQ(on.iterations, off.iterations);
+  EXPECT_DOUBLE_EQ(on.elapsed, off.elapsed);
+  ASSERT_EQ(on.iters.size(), off.iters.size());
+  for (std::size_t i = 0; i < on.iters.size(); ++i) {
+    EXPECT_EQ(on.iters[i].nnz_after_prune, off.iters[i].nnz_after_prune) << i;
+    EXPECT_DOUBLE_EQ(on.iters[i].chaos, off.iters[i].chaos) << i;
+    EXPECT_EQ(on.iters[i].flops, off.iters[i].flops) << i;
+  }
+
+  // ... and it did observe the run: kernel windows in the registry,
+  // the stage/iteration/kernel timeline in the recorder.
+  std::uint64_t windows = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name.rfind("prof.hw.kernel.", 0) == 0 &&
+        name.find(".windows") != std::string::npos) {
+      windows += value;
+    }
+  }
+  EXPECT_GT(windows, 0u);
+  EXPECT_GT(registry.counter("prof.hw.stage.expand.windows"), 0u);
+
+  bool saw_stage = false, saw_iter = false, saw_kernel = false;
+  for (const auto& e : recorder.merged()) {
+    switch (static_cast<obs::FrEventKind>(e.kind)) {
+      case obs::FrEventKind::kStage: saw_stage = true; break;
+      case obs::FrEventKind::kIteration: saw_iter = true; break;
+      case obs::FrEventKind::kKernel: saw_kernel = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(saw_stage);
+  EXPECT_TRUE(saw_iter);
+  EXPECT_TRUE(saw_kernel);
+}
+
+// ---------------------------------------------------------------------------
+// Stall post-mortem through the scheduler watchdog — fake clock, zero
+// wall-clock sleeps, same harness as test_live_obs's stall test.
+
+svc::JobSpec tiny_job(const std::string& id, std::uint64_t seed = 42) {
+  svc::JobSpec spec;
+  spec.id = id;
+  spec.workload = "tiny";
+  spec.config_name = "optimized";
+  spec.graph = gen::make_dataset("tiny", 1.0, seed).graph.edges;
+  spec.nodes = 4;
+  spec.params.max_iters = 30;
+  return spec;
+}
+
+TEST(ProfE2E, StalledJobPostMortemContainsTheTimeline) {
+  PoolGuard guard;
+  par::set_threads(2);
+
+  std::atomic<double> fake_time{0};
+  svc::SchedulerOptions options;
+  options.max_concurrent = 1;
+  options.watchdog.enabled = true;
+  options.watchdog.sample_interval_s = 0;  // manual sample_health()
+  options.watchdog.slow_after_s = 5;
+  options.watchdog.stall_after_s = 10;
+  options.watchdog.auto_cancel = true;
+  options.watchdog.clock = [&fake_time] { return fake_time.load(); };
+  options.postmortem_dir = testing::TempDir();
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> entered{false};
+  svc::JobSpec spec = tiny_job("wedged");
+  spec.config.on_iteration = [&](const core::IterationReport&) {
+    entered.store(true);
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return release; });
+  };
+
+  svc::Scheduler scheduler(options);
+  scheduler.submit(std::move(spec));
+  while (!entered.load()) std::this_thread::yield();
+
+  // Whatever happens below, unpark the job so the scheduler can settle
+  // (a failed ASSERT must not leave its destructor waiting forever).
+  struct Release {
+    std::mutex& m;
+    std::condition_variable& cv;
+    bool& flag;
+    ~Release() {
+      {
+        std::lock_guard<std::mutex> lk(m);
+        flag = true;
+      }
+      cv.notify_all();
+    }
+  } release_guard{m, cv, release};
+
+  scheduler.sample_health();  // first sight at t=0 arms the stall timer
+  fake_time.store(11);
+  const auto reports = scheduler.sample_health();
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_EQ(reports[0].health, svc::JobHealth::kStalled);
+
+  // The watchdog's first stalled verdict dumped the job's recorder.
+  const std::string path = testing::TempDir() + "/wedged.postmortem.json";
+  const obs::FlatDoc doc = obs::flatten_json_file(path);
+  EXPECT_EQ(doc.at("job").text, "wedged");
+  EXPECT_EQ(doc.at("reason").text, "watchdog:stalled");
+  bool saw_stage = false, saw_iter = false;
+  for (const auto& [key, value] : doc) {
+    if (key.find(".kind") == std::string::npos) continue;
+    if (value.text == "stage") saw_stage = true;
+    if (value.text == "iteration") saw_iter = true;
+  }
+  EXPECT_TRUE(saw_stage);
+  EXPECT_TRUE(saw_iter);
+
+  // A second sample must not re-dump (claimed once) — mtime aside, the
+  // metric pins it.
+  scheduler.sample_health();
+  EXPECT_EQ(scheduler.metrics_snapshot().counter("svc.postmortems"), 1u);
+
+  const auto rows = scheduler.jobs_snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].postmortem, path);
+
+  {
+    std::lock_guard<std::mutex> lk(m);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(scheduler.wait("wedged").state, svc::JobState::kCancelled);
+  std::remove(path.c_str());
+  (void)release_guard;
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal dump: a forked child crashes mid-iteration and the
+// crash handler's async-signal-safe writer leaves a parseable dump.
+
+TEST(ProfE2E, FatalSignalDumpSurvivesACrashingChild) {
+  const std::string path = temp_path("crash.postmortem.json");
+  std::remove(path.c_str());
+
+  // Join the pool's worker threads before forking: the child must not
+  // inherit a pool object whose threads exist only in the parent.
+  par::shutdown();
+
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Child: run a tiny clustering (on its own freshly-built pool) with
+    // the recorder armed, and crash from the iteration hook.
+    par::set_threads(2);
+    obs::FlightRecorder recorder;
+    obs::install_crash_dump(&recorder, path);
+    obs::ScopedFlightRecorder scope(recorder);
+
+    gen::PlantedParams gp;
+    gp.n = 60;
+    gp.seed = 7;
+    const auto g = gen::planted_partition(gp);
+    core::HipMclConfig config = core::HipMclConfig::optimized();
+    config.on_iteration = [](const core::IterationReport& rep) {
+      if (rep.iter >= 2) {
+        volatile int* p = nullptr;
+        *p = 1;  // SIGSEGV mid-iteration
+      }
+    };
+    sim::SimState sim(sim::summit_like(4));
+    core::run_hipmcl(g.edges, {}, config, sim);
+    _exit(0);  // not reached: the crash above must fire
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited normally: " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty()) << "crash handler wrote no dump";
+  const obs::FlatDoc doc = obs::flatten_json(text);
+  EXPECT_EQ(doc.at("reason").text, "signal:SIGSEGV");
+  bool saw_stage = false, saw_iter = false;
+  for (const auto& [key, value] : doc) {
+    if (key.find(".kind") == std::string::npos) continue;
+    if (value.text == "stage") saw_stage = true;
+    if (value.text == "iteration") saw_iter = true;
+  }
+  EXPECT_TRUE(saw_stage);
+  EXPECT_TRUE(saw_iter);
+  std::remove(path.c_str());
+}
+
+TEST(ProfE2E, CrashDumpInstallAndUninstallRoundTrip) {
+  obs::FlightRecorder recorder;
+  const std::string path = temp_path("never_written.json");
+  EXPECT_TRUE(obs::install_crash_dump(&recorder, path));
+  obs::uninstall_crash_dump();
+  obs::uninstall_crash_dump();  // idempotent
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+}  // namespace
